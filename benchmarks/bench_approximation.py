@@ -1,0 +1,70 @@
+"""Benchmark E6 — syntactic vs semantic OWL→DL-Lite approximation.
+
+Measures the §7 trade-off: the syntactic pass is near-instant but loses
+entailments; the per-axiom semantic pass costs tableau calls and
+recovers more; the global variant is the most complete and the slowest
+(the paper's "tends to be significantly slower" point).  Entailment
+recall is recorded per variant in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approximation import (
+    completeness_report,
+    random_owl_ontology,
+    semantic_approximation,
+    syntactic_approximation,
+)
+
+SEEDS = [1, 2, 3]
+
+
+def _ontology(seed: int):
+    return random_owl_ontology(seed, classes=5, roles=2, axioms=8)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_syntactic_approximation(benchmark, seed):
+    ontology = _ontology(seed)
+    tbox = benchmark.pedantic(
+        lambda: syntactic_approximation(ontology),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    report = completeness_report(tbox, ontology)
+    benchmark.extra_info["variant"] = "syntactic"
+    benchmark.extra_info["recall"] = round(report.recall, 3)
+    benchmark.extra_info["sound"] = report.is_sound
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_semantic_per_axiom_approximation(benchmark, seed):
+    ontology = _ontology(seed)
+    tbox = benchmark.pedantic(
+        lambda: semantic_approximation(ontology, mode="per_axiom"),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    report = completeness_report(tbox, ontology)
+    benchmark.extra_info["variant"] = "semantic-per-axiom"
+    benchmark.extra_info["recall"] = round(report.recall, 3)
+    assert report.is_sound
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_semantic_global_approximation(benchmark, seed):
+    ontology = _ontology(seed)
+    tbox = benchmark.pedantic(
+        lambda: semantic_approximation(ontology, mode="global"),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    report = completeness_report(tbox, ontology)
+    benchmark.extra_info["variant"] = "semantic-global"
+    benchmark.extra_info["recall"] = round(report.recall, 3)
+    assert report.recall == pytest.approx(1.0)

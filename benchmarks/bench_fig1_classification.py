@@ -1,0 +1,47 @@
+"""Benchmark E1 — the paper's Figure 1: classification times.
+
+One pytest-benchmark entry per (ontology, engine) cell.  The graph-based
+engine (QuOnto analogue) and the consequence-based engine (CB analogue)
+run the full-scale corpus; the tableau analogues run uniformly rescaled
+copies so the whole grid stays minutes-sized — their full-scale
+behaviour (including the paper's timeout and out-of-memory cells) is
+exercised by the printing harness::
+
+    python -m repro.figure1 --budget 30
+
+which regenerates the complete table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import make_reasoner
+from repro.corpus import FIGURE1_ORDER
+
+from repro_bench_util import corpus_tbox
+
+# (engine, corpus scale): scales chosen so every cell completes quickly
+# while preserving each engine's cost profile.
+ENGINE_SCALES = [
+    ("quonto-graph", 1.0),
+    ("cb-consequence", 1.0),
+    ("tableau-memoized", 0.3),
+    ("tableau-dense", 0.3),
+    ("tableau-pairwise", 0.08),
+]
+
+
+@pytest.mark.parametrize("ontology", FIGURE1_ORDER)
+@pytest.mark.parametrize("engine,scale", ENGINE_SCALES)
+def test_fig1_cell(benchmark, ontology, engine, scale):
+    tbox = corpus_tbox(ontology, scale)
+    reasoner = make_reasoner(engine)
+    count = benchmark.pedantic(
+        lambda: reasoner.measure(tbox), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["ontology"] = ontology
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["subsumptions"] = count
+    assert count >= 0

@@ -1,0 +1,94 @@
+"""Benchmark E3 (companion) — the end-to-end OBDA query pipeline.
+
+Times certain-answer computation over mapped relational data for each
+answering method (PerfectRef over virtual extents, PerfectRef unfolded
+to source SQL, Presto datalog), on a generated university-style instance
+of growing size.  All three must return identical answers.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+import pytest
+
+from repro.dllite import AtomicConcept, AtomicRole, parse_tbox
+from repro.obda import (
+    Database,
+    MappingAssertion,
+    MappingCollection,
+    OBDASystem,
+    TargetAtom,
+)
+from repro.obda.mapping import IriTemplate
+
+TBOX_TEXT = """
+role teaches
+Professor isa Teacher
+Lecturer isa Teacher
+Teacher isa Person
+Student isa Person
+Teacher isa exists teaches
+exists teaches isa Teacher
+exists teaches^- isa Course
+"""
+
+METHODS = ["perfectref", "perfectref-sql", "presto"]
+SIZES = [200, 2000]
+
+
+@lru_cache(maxsize=None)
+def university_system(rows: int) -> OBDASystem:
+    rng = random.Random(rows)
+    db = Database("campus")
+    staff = db.create_table("staff", ["id", "role"])
+    teaching = db.create_table("teaching", ["staff_id", "course"])
+    for person in range(rows):
+        staff.insert((person, rng.choice(["prof", "lect", "admin"])))
+        if rng.random() < 0.7:
+            teaching.insert((person, f"course{rng.randrange(rows // 4 + 1)}"))
+    mappings = MappingCollection(
+        [
+            MappingAssertion(
+                "SELECT id FROM staff WHERE role = 'prof'",
+                [TargetAtom(AtomicConcept("Professor"), (IriTemplate("p/{id}"),))],
+            ),
+            MappingAssertion(
+                "SELECT id FROM staff WHERE role = 'lect'",
+                [TargetAtom(AtomicConcept("Lecturer"), (IriTemplate("p/{id}"),))],
+            ),
+            MappingAssertion(
+                "SELECT staff_id, course FROM teaching",
+                [
+                    TargetAtom(
+                        AtomicRole("teaches"),
+                        (IriTemplate("p/{staff_id}"), IriTemplate("c/{course}")),
+                    )
+                ],
+            ),
+        ]
+    )
+    return OBDASystem(parse_tbox(TBOX_TEXT), mappings=mappings, database=db)
+
+
+QUERY = "q(x) :- Teacher(x), teaches(x, y)"
+
+
+@pytest.mark.parametrize("rows", SIZES)
+@pytest.mark.parametrize("method", METHODS)
+def test_obda_answering(benchmark, rows, method):
+    system = university_system(rows)
+    answers = benchmark.pedantic(
+        lambda: system.certain_answers(QUERY, method=method, check_consistency=False),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["answers"] = len(answers)
+    reference = system.certain_answers(
+        QUERY, method="perfectref", check_consistency=False
+    )
+    assert answers == reference

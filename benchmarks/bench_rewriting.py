@@ -1,0 +1,72 @@
+"""Benchmark E3 — PerfectRef vs the Presto-style rewriter.
+
+The paper motivates fast classification partly through Presto, which
+consumes the classification to keep rewritings small.  This bench sweeps
+hierarchy width and query length and records, for both rewriters, the
+time and the output size (UCQ disjuncts vs datalog program size): the
+PerfectRef union grows multiplicatively with the hierarchy, the datalog
+program linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GraphClassifier
+from repro.dllite import TBox, parse_tbox
+from repro.obda import parse_query, perfect_ref, presto_rewrite
+
+
+def hierarchy_tbox(width: int) -> TBox:
+    """`width` subclasses under each of two queried concepts, plus roles."""
+    lines = ["role worksFor"]
+    lines += [f"A{i} isa Person" for i in range(width)]
+    lines += [f"B{i} isa Company" for i in range(width)]
+    lines += [
+        "exists worksFor isa Person",
+        "exists worksFor^- isa Company",
+        "Employee isa exists worksFor . Company",
+        "Employee isa Person",
+    ]
+    return parse_tbox("\n".join(lines))
+
+
+QUERIES = {
+    "one-atom": "q(x) :- Person(x)",
+    "join": "q(x) :- Person(x), worksFor(x, y), Company(y)",
+}
+
+WIDTHS = [4, 16, 48]
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_perfectref_rewriting(benchmark, width, query_name):
+    tbox = hierarchy_tbox(width)
+    query = parse_query(QUERIES[query_name])
+    result = benchmark.pedantic(
+        lambda: perfect_ref(query, tbox), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["rewriter"] = "perfectref"
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["size_disjuncts"] = len(result)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_presto_rewriting(benchmark, width, query_name):
+    tbox = hierarchy_tbox(width)
+    classification = GraphClassifier().classify(tbox)
+    query = parse_query(QUERIES[query_name])
+    result = benchmark.pedantic(
+        lambda: presto_rewrite(query, tbox, classification),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["rewriter"] = "presto"
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["size_atoms"] = result.size
+    benchmark.extra_info["ucq_disjuncts"] = len(result.ucq)
+    # the Presto UCQ never grows with hierarchy width
+    assert len(result.ucq) <= 4

@@ -1,0 +1,42 @@
+"""Scaling behaviour of the graph-based classifier (E1 companion).
+
+The paper's pitch is that the graph-based technique scales to "very
+large ontologies"; this bench sweeps the corpus scale factor and shows
+near-linear growth of classification time for the QuOnto analogue
+(against the super-linear tableau analogues, sampled at the two smallest
+scales only so the suite stays fast).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import make_reasoner
+from repro_bench_util import corpus_tbox
+
+SCALES = [0.25, 0.5, 1.0, 2.0]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_graph_classifier_scaling(benchmark, scale):
+    tbox = corpus_tbox("Gene", scale)
+    reasoner = make_reasoner("quonto-graph")
+    count = benchmark.pedantic(
+        lambda: reasoner.measure(tbox), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["axioms"] = len(tbox)
+    benchmark.extra_info["subsumptions"] = count
+
+
+@pytest.mark.parametrize("scale", SCALES[:2])
+@pytest.mark.parametrize("engine", ["tableau-memoized", "tableau-dense"])
+def test_tableau_scaling_reference(benchmark, engine, scale):
+    tbox = corpus_tbox("Gene", scale)
+    reasoner = make_reasoner(engine)
+    count = benchmark.pedantic(
+        lambda: reasoner.measure(tbox), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["subsumptions"] = count

@@ -1,0 +1,1 @@
+"""Benchmark-suite conftest (kept minimal; see repro_bench_util)."""

@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark suite.
+
+Generated corpus TBoxes are cached per (name, scale) so the benchmarks
+measure reasoning, not ontology generation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=None)
+def corpus_tbox(name: str, scale: float = 1.0):
+    from repro.corpus import load_profile
+
+    return load_profile(name, scale=scale)

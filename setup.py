@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so the
+PEP 660 editable-install path is unavailable; keeping a ``setup.py`` (and
+no ``[build-system]`` table in pyproject.toml) lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` route, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Graph-based DL-Lite classification and a full OBDA stack "
+        "(reproduction of Santarelli, EDBT 2013)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,64 @@
+"""repro — a reproduction of "Towards efficient and practical solutions for
+ontology-based data management" (V. Santarelli, EDBT 2013).
+
+The library implements the paper's graph-based DL-Lite classification
+technique (:mod:`repro.core`) together with every substrate the paper's
+OBDA methodology relies on: the DL-Lite language stack
+(:mod:`repro.dllite`), baseline classifiers (:mod:`repro.baselines`),
+the synthetic benchmark corpus (:mod:`repro.corpus`), a full OBDA engine
+with mappings and query rewriting (:mod:`repro.obda`), the graphical
+ontology language (:mod:`repro.graphical`) and OWL→DL-Lite approximation
+(:mod:`repro.approximation`).
+
+Quickstart:
+
+>>> from repro import parse_tbox, classify
+>>> from repro.dllite import AtomicConcept
+>>> tbox = parse_tbox("Professor isa Teacher\\nTeacher isa Person")
+>>> classification = classify(tbox)
+>>> sorted(str(s) for s in classification.subsumers(AtomicConcept("Professor")))
+['Person', 'Professor', 'Teacher']
+"""
+
+from .core import (
+    Classification,
+    GraphClassifier,
+    ImplicationChecker,
+    classify,
+    deductive_closure,
+)
+from .docs import generate_documentation
+from .dllite import (
+    ABox,
+    Ontology,
+    TBox,
+    parse_axiom,
+    parse_concept,
+    parse_owl_functional,
+    parse_role,
+    parse_tbox,
+    serialize_owl_functional,
+    serialize_tbox,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABox",
+    "Classification",
+    "GraphClassifier",
+    "ImplicationChecker",
+    "Ontology",
+    "TBox",
+    "__version__",
+    "classify",
+    "deductive_closure",
+    "generate_documentation",
+    "parse_axiom",
+    "parse_concept",
+    "parse_owl_functional",
+    "parse_role",
+    "parse_tbox",
+    "serialize_owl_functional",
+    "serialize_tbox",
+]

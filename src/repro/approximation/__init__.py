@@ -1,0 +1,48 @@
+"""OWL → DL-Lite ontology approximation (paper §7)."""
+
+from .metrics import ApproximationReport, completeness_report, soundness_report
+from .owl import (
+    All,
+    And,
+    BOTTOM,
+    Bottom,
+    Not,
+    Or,
+    OwlClass,
+    OwlOntology,
+    OwlSubClassOf,
+    OwlSubPropertyOf,
+    Some,
+    TOP,
+    Top,
+    nnf,
+)
+from .owl_reasoner import OwlReasoner
+from .sampling import random_owl_ontology
+from .semantic import entailed_dllite_axioms, semantic_approximation
+from .syntactic import syntactic_approximation
+
+__all__ = [
+    "ApproximationReport",
+    "All",
+    "And",
+    "BOTTOM",
+    "Bottom",
+    "Not",
+    "Or",
+    "OwlClass",
+    "OwlOntology",
+    "OwlReasoner",
+    "OwlSubClassOf",
+    "OwlSubPropertyOf",
+    "Some",
+    "TOP",
+    "Top",
+    "completeness_report",
+    "entailed_dllite_axioms",
+    "nnf",
+    "random_owl_ontology",
+    "semantic_approximation",
+    "soundness_report",
+    "syntactic_approximation",
+]

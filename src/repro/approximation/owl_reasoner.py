@@ -1,0 +1,348 @@
+"""A tableau reasoner for the ALCH fragment — "the OWL reasoner" that the
+paper's semantic approximation consults (§7).
+
+Standard ALCH tableau with absorption and ancestor subset-blocking:
+
+* **absorption** keeps the search tame: atomic-LHS axioms become lazy
+  unfoldings (``A`` entering a label enqueues its told consequences),
+  ``∃r.⊤ ⊑ C`` / ``⊤ ⊑ ∀r.C`` become domain/range edge triggers, and
+  conjunctions of atoms become conjunction triggers; only genuinely
+  complex left-hand sides fall back to the internalized disjunction
+  ``nnf(¬C ⊔ D)`` added to every node label;
+* rules: ⊓, ⊔ (explicit choice stack, chronological backtracking, dead
+  branches pruned against the label), ∃ (successor creation, blocked
+  when an ancestor label includes the candidate's), ∀ with role
+  hierarchy (``∀R.C`` fires over ``S``-edges for every ``S ⊑* R``);
+* clash: ``{A, ¬A}`` or ``⊥``.
+
+The engine is fully iterative — disjunction choice points are kept on an
+explicit stack of snapshotted states, so deeply disjunctive inputs
+cannot exhaust the Python recursion limit.
+
+The entry point :func:`OwlReasoner.is_satisfiable` accepts an optional
+set of *incoming* role edges on the seed node, which is how inverse-side
+DL-Lite checks (``∃P⁻ ⊑ ...``) are decided against an inverse-free
+language — the seed is given an explicit predecessor (see
+:mod:`repro.approximation.semantic`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .owl import (
+    All,
+    And,
+    Bottom,
+    ClassExpression,
+    Not,
+    Or,
+    OwlClass,
+    OwlOntology,
+    OwlSubClassOf,
+    Some,
+    Top,
+    nnf,
+)
+
+__all__ = ["OwlReasoner"]
+
+_MAX_NODES = 2000  # safety valve against pathological inputs
+_MAX_STATES = 200_000  # backtracking-budget safety valve
+
+
+def _split_or(expression):
+    """Top-level disjunctive LHS splits into independent axioms."""
+    if isinstance(expression, Or):
+        parts = []
+        for operand in expression.operands:
+            parts.extend(_split_or(operand))
+        return parts
+    return [expression]
+
+
+class _State:
+    """One tableau state: node labels, parent links, edges, agenda.
+
+    Labels are insertion-ordered dicts used as sets, so rule application
+    order — and therefore the whole search — is deterministic across
+    processes (plain sets iterate in hash order, which varies with the
+    interpreter's hash seed).
+    """
+
+    __slots__ = ("labels", "parents", "edges", "agenda")
+
+    def __init__(
+        self,
+        labels: List[Dict[ClassExpression, None]],
+        parents: List[Optional[int]],
+        edges: List[Tuple[int, str, int]],
+        agenda: List[Tuple[int, ClassExpression]],
+    ):
+        self.labels = labels
+        self.parents = parents
+        self.edges = edges
+        self.agenda = agenda
+
+    def copy(self) -> "_State":
+        return _State(
+            [dict(label) for label in self.labels],
+            list(self.parents),
+            list(self.edges),
+            list(self.agenda),
+        )
+
+
+class OwlReasoner:
+    """Satisfiability and entailment for one :class:`OwlOntology`."""
+
+    def __init__(self, ontology: OwlOntology):
+        self.ontology = ontology
+        # Absorption: axioms whose left-hand side can fire deterministically
+        # become triggers instead of global disjunctions — without it, every
+        # node carries one ⊔ per GCI and the search explodes exponentially.
+        self.unfold_atomic: Dict[OwlClass, List[ClassExpression]] = {}
+        self.conj_triggers: List[Tuple[frozenset, ClassExpression]] = []
+        self.domain_triggers: Dict[str, List[ClassExpression]] = {}
+        self.range_triggers: Dict[str, List[ClassExpression]] = {}
+        self.universals: List[ClassExpression] = []
+        for axiom in ontology.subclass_axioms():
+            for lhs_part in _split_or(axiom.lhs):
+                self._absorb(lhs_part, axiom.rhs)
+        # reflexive-transitive role hierarchy
+        supers: Dict[str, Set[str]] = {}
+        for axiom in ontology.subproperty_axioms():
+            supers.setdefault(axiom.lhs, {axiom.lhs}).add(axiom.rhs)
+            supers.setdefault(axiom.rhs, {axiom.rhs})
+        changed = True
+        while changed:
+            changed = False
+            for role, uppers in supers.items():
+                extended = set(uppers)
+                for upper in uppers:
+                    extended |= supers.get(upper, {upper})
+                if extended != uppers:
+                    supers[role] = extended
+                    changed = True
+        self._role_supers = supers
+
+    def _absorb(self, lhs: ClassExpression, rhs: ClassExpression) -> None:
+        """File one ``lhs ⊑ rhs`` under the cheapest applicable mechanism."""
+        consequence = nnf(rhs)
+        if isinstance(lhs, OwlClass):
+            self.unfold_atomic.setdefault(lhs, []).append(consequence)
+            return
+        if isinstance(lhs, Top):
+            if isinstance(rhs, All):
+                # ⊤ ⊑ ∀r.C — a range axiom: targets of r-edges get C.
+                self.range_triggers.setdefault(rhs.role, []).append(nnf(rhs.filler))
+                return
+            # a global constraint on every node
+            self.universals.append(consequence)
+            return
+        if isinstance(lhs, Some) and isinstance(lhs.filler, Top):
+            # ∃r.⊤ ⊑ C — a domain axiom: sources of r-edges get C.
+            self.domain_triggers.setdefault(lhs.role, []).append(consequence)
+            return
+        if isinstance(lhs, And) and all(
+            isinstance(op, OwlClass) for op in lhs.operands
+        ):
+            self.conj_triggers.append((frozenset(lhs.operands), consequence))
+            return
+        # residual complex left-hand side: keep the internalized disjunction
+        self.universals.append(nnf(Or(Not(lhs), rhs)))
+
+    def role_supers(self, role: str) -> Set[str]:
+        return self._role_supers.get(role, {role})
+
+    def is_subrole(self, sub: str, super_: str) -> bool:
+        return super_ in self.role_supers(sub)
+
+    # -- public API ----------------------------------------------------------------
+
+    def is_satisfiable(
+        self,
+        seeds: Sequence[ClassExpression],
+        incoming: Sequence[str] = (),
+    ) -> bool:
+        """Satisfiability of a seed individual under the given constraints.
+
+        *seeds* are class expressions the seed must belong to; *incoming*
+        lists role names for which the seed must have a predecessor
+        (``∃R⁻`` membership, simulated with explicit parent nodes).
+        """
+        labels: List[Dict[ClassExpression, None]] = [{}]
+        parents: List[Optional[int]] = [None]
+        edges: List[Tuple[int, str, int]] = []
+        agenda: List[Tuple[int, ClassExpression]] = []
+        for seed in seeds:
+            agenda.append((0, nnf(seed)))
+        for universal in self.universals:
+            agenda.append((0, universal))
+        for role in incoming:
+            labels.append({})
+            parents.append(None)
+            parent_id = len(labels) - 1
+            edges.append((parent_id, role, 0))
+            for universal in self.universals:
+                agenda.append((parent_id, universal))
+            for upper in self.role_supers(role):
+                for consequence in self.domain_triggers.get(upper, ()):
+                    agenda.append((parent_id, consequence))
+                for consequence in self.range_triggers.get(upper, ()):
+                    agenda.append((0, consequence))
+        return self._search(_State(labels, parents, edges, agenda))
+
+    def entails(self, axiom: OwlSubClassOf) -> bool:
+        """``T ⊨ C ⊑ D`` via unsatisfiability of ``C ⊓ ¬D``."""
+        return not self.is_satisfiable([And(axiom.lhs, Not(axiom.rhs))])
+
+    # -- engine ----------------------------------------------------------------------
+
+    def _search(self, initial: _State) -> bool:
+        stack = [initial]
+        visited_states = 0
+        while stack:
+            visited_states += 1
+            if visited_states > _MAX_STATES:
+                return True  # give up on the safe (satisfiable) side
+            state = stack.pop()
+            outcome = self._saturate(state)
+            if outcome == "clash":
+                continue
+            if outcome is None:
+                return True
+            node_id, operands = outcome
+            for operand in operands:
+                branch = state.copy()
+                branch.agenda.append((node_id, operand))
+                stack.append(branch)
+        return False
+
+    def _saturate(self, state: _State):
+        """Run deterministic rules to completion.
+
+        Returns ``"clash"``, ``None`` (fully expanded, clash-free), or a
+        choice point ``(node_id, operands)`` for the ⊔-rule.
+        """
+        while True:
+            while state.agenda:
+                node_id, expression = state.agenda.pop()
+                label = state.labels[node_id]
+                if expression in label:
+                    continue
+                if isinstance(expression, Bottom):
+                    return "clash"
+                if isinstance(expression, Top):
+                    continue
+                if isinstance(expression, OwlClass):
+                    if Not(expression) in label:
+                        return "clash"
+                    label[expression] = None
+                    for consequence in self.unfold_atomic.get(expression, ()):
+                        state.agenda.append((node_id, consequence))
+                    for atoms, consequence in self.conj_triggers:
+                        if expression in atoms and all(a in label for a in atoms):
+                            state.agenda.append((node_id, consequence))
+                    continue
+                if isinstance(expression, Not):  # NNF: operand is atomic
+                    if expression.operand in label:
+                        return "clash"
+                    label[expression] = None
+                    continue
+                label[expression] = None
+                if isinstance(expression, And):
+                    for operand in expression.operands:
+                        state.agenda.append((node_id, operand))
+                    continue
+                if isinstance(expression, Or):
+                    if any(op in label for op in expression.operands):
+                        continue  # already satisfied
+                    # prune operands already refuted by the label (dead
+                    # atomic branches); branch only on what is left
+                    live = tuple(
+                        op
+                        for op in expression.operands
+                        if not (
+                            (isinstance(op, OwlClass) and Not(op) in label)
+                            or (isinstance(op, Not) and op.operand in label)
+                            or isinstance(op, Bottom)
+                        )
+                    )
+                    if not live:
+                        return "clash"
+                    if len(live) == 1:
+                        state.agenda.append((node_id, live[0]))
+                        continue
+                    return (node_id, live)
+                if isinstance(expression, All):
+                    for source, role, target in state.edges:
+                        if source == node_id and self.is_subrole(
+                            role, expression.role
+                        ):
+                            state.agenda.append((target, expression.filler))
+                    continue
+                if isinstance(expression, Some):
+                    for upper in self.role_supers(expression.role):
+                        for consequence in self.domain_triggers.get(upper, ()):
+                            state.agenda.append((node_id, consequence))
+                    continue  # applied in the ∃ phase below
+                raise TypeError(f"unexpected expression {expression!r}")
+
+            applied = self._apply_one_existential(state)
+            if applied == "overflow":
+                return None  # treat as satisfiable (safe side)
+            if not applied:
+                return None
+
+    def _apply_one_existential(self, state: _State):
+        for node_id, label in enumerate(state.labels):
+            for expression in list(label):
+                if not isinstance(expression, Some):
+                    continue
+                if self._has_witness(state, node_id, expression):
+                    continue
+                if self._is_blocked(state, node_id):
+                    continue
+                if len(state.labels) > _MAX_NODES:
+                    return "overflow"
+                state.labels.append({})
+                state.parents.append(node_id)
+                successor_id = len(state.labels) - 1
+                state.edges.append((node_id, expression.role, successor_id))
+                state.agenda.append((successor_id, expression.filler))
+                for universal in self.universals:
+                    state.agenda.append((successor_id, universal))
+                for upper in self.role_supers(expression.role):
+                    for consequence in self.domain_triggers.get(upper, ()):
+                        state.agenda.append((node_id, consequence))
+                    for consequence in self.range_triggers.get(upper, ()):
+                        state.agenda.append((successor_id, consequence))
+                # ∀ constraints of the parent propagate over the new edge.
+                for constraint in label:
+                    if isinstance(constraint, All) and self.is_subrole(
+                        expression.role, constraint.role
+                    ):
+                        state.agenda.append((successor_id, constraint.filler))
+                return True
+        return False
+
+    def _has_witness(self, state: _State, node_id: int, some: Some) -> bool:
+        filler = nnf(some.filler)
+        trivially_true = isinstance(filler, Top)
+        for source, role, target in state.edges:
+            if source == node_id and self.is_subrole(role, some.role):
+                if trivially_true or filler in state.labels[target]:
+                    return True
+        return False
+
+    def _is_blocked(self, state: _State, node_id: int) -> bool:
+        """Ancestor subset-blocking."""
+        label = state.labels[node_id]
+        ancestor = state.parents[node_id]
+        while ancestor is not None:
+            ancestor_label = state.labels[ancestor]
+            if all(entry in ancestor_label for entry in label):
+                return True
+            ancestor = state.parents[ancestor]
+        return False

@@ -1,0 +1,26 @@
+"""Baseline classifiers: the Figure 1 comparators and the saturation oracle."""
+
+from .base import NamedClassification, Reasoner
+from .cb_like import ConsequenceBasedReasoner
+from .registry import FIGURE1_COLUMNS, GraphReasoner, REASONER_FACTORIES, make_reasoner
+from .saturation import Saturation, SaturationReasoner
+from .tableau import (
+    DenseMatrixTableauReasoner,
+    MemoizedTableauReasoner,
+    PairwiseTableauReasoner,
+)
+
+__all__ = [
+    "ConsequenceBasedReasoner",
+    "DenseMatrixTableauReasoner",
+    "FIGURE1_COLUMNS",
+    "GraphReasoner",
+    "MemoizedTableauReasoner",
+    "NamedClassification",
+    "PairwiseTableauReasoner",
+    "REASONER_FACTORIES",
+    "Reasoner",
+    "Saturation",
+    "SaturationReasoner",
+    "make_reasoner",
+]

@@ -1,0 +1,90 @@
+"""The reasoner line-up of Figure 1, by column name.
+
+Maps each column of the paper's table to the algorithm-class analogue we
+built for it (see DESIGN.md "Substitutions"):
+
+=========  =============================================  =================
+Column     Engine                                         Algorithm class
+=========  =============================================  =================
+QuOnto     :class:`~repro.baselines.registry.GraphReasoner`  digraph closure
+FaCT++     :class:`~repro.baselines.tableau.DenseMatrixTableauReasoner` dense matrix (memory-capped)
+HermiT     :class:`~repro.baselines.tableau.MemoizedTableauReasoner`    cached-label pairwise tests (memory-accounted)
+Pellet     :class:`~repro.baselines.tableau.PairwiseTableauReasoner`    per-candidate confirmation tests, no caching
+CB         :class:`~repro.baselines.cb_like.ConsequenceBasedReasoner`   consequence-based, concept-only
+=========  =============================================  =================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.classifier import GraphClassifier
+from ..dllite.tbox import TBox
+from ..util.timing import Stopwatch
+from .base import NamedClassification, Reasoner
+from .cb_like import ConsequenceBasedReasoner
+from .saturation import SaturationReasoner
+from .tableau import (
+    DenseMatrixTableauReasoner,
+    MemoizedTableauReasoner,
+    PairwiseTableauReasoner,
+)
+
+__all__ = ["GraphReasoner", "REASONER_FACTORIES", "make_reasoner", "FIGURE1_COLUMNS"]
+
+
+class GraphReasoner(Reasoner):
+    """Adapter exposing :class:`repro.core.GraphClassifier` as a Reasoner."""
+
+    name = "quonto-graph"
+
+    def __init__(self, **options):
+        self._classifier = GraphClassifier(**options)
+
+    def classify_named(
+        self, tbox: TBox, watch: Optional[Stopwatch] = None
+    ) -> NamedClassification:
+        classification = self._classifier.classify(tbox, watch=watch)
+        named_unsat = {
+            node
+            for node in classification.unsatisfiable()
+            if node in tbox.signature
+        }
+        return NamedClassification(
+            frozenset(classification.subsumptions(named_only=True)),
+            frozenset(named_unsat),
+        )
+
+    def measure(self, tbox: TBox, watch: Optional[Stopwatch] = None) -> int:
+        classification = self._classifier.classify(tbox, watch=watch)
+        return classification.subsumption_count(named_only=True)
+
+
+REASONER_FACTORIES: Dict[str, Callable[[], Reasoner]] = {
+    "quonto-graph": GraphReasoner,
+    "tableau-pairwise": PairwiseTableauReasoner,
+    "tableau-memoized": MemoizedTableauReasoner,
+    "tableau-dense": DenseMatrixTableauReasoner,
+    "cb-consequence": ConsequenceBasedReasoner,
+    "saturation": SaturationReasoner,
+}
+
+#: Figure 1 column order, mapped to engine names.
+FIGURE1_COLUMNS: List = [
+    ("QuOnto", "quonto-graph"),
+    ("FaCT++", "tableau-dense"),
+    ("HermiT", "tableau-memoized"),
+    ("Pellet", "tableau-pairwise"),
+    ("CB", "cb-consequence"),
+]
+
+
+def make_reasoner(name: str) -> Reasoner:
+    """Instantiate a reasoner by engine name (see ``REASONER_FACTORIES``)."""
+    try:
+        factory = REASONER_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown reasoner {name!r}; choose from {sorted(REASONER_FACTORIES)}"
+        ) from None
+    return factory()

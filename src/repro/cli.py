@@ -1,0 +1,281 @@
+"""The ``repro`` command-line interface.
+
+Subcommands cover the workflow steps of the paper's methodology (§3):
+
+* ``classify`` — graph-based classification: statistics, unsatisfiable
+  predicates, and optionally the full subsumption list;
+* ``implication`` — decide ``T ⊨ α`` for an axiom given on the command line;
+* ``rewrite`` — PerfectRef or Presto rewriting of a conjunctive query;
+* ``render`` — translate an ontology to the §6 graphical language and
+  emit SVG;
+* ``doc`` — generate Markdown documentation (§8);
+* ``diff`` — syntactic + semantic diff of two ontology versions
+  (``--check`` fails the build on breaking changes);
+* ``lint`` — design-quality checks (unsatisfiable predicates, unused
+  declarations);
+* ``corpus`` — materialize one of the Figure 1 benchmark ontologies;
+* ``figure1`` — run the full Figure 1 grid (same as ``python -m repro.figure1``).
+
+Ontology files may be in the textual DL-Lite syntax or OWL 2 QL
+functional-style syntax (sniffed from the content).
+
+Run ``python -m repro --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import GraphClassifier, ImplicationChecker
+from .dllite import parse_axiom, parse_owl_functional, parse_tbox
+from .dllite.tbox import TBox
+from .errors import ReproError
+
+__all__ = ["main", "load_ontology_file"]
+
+
+def load_ontology_file(path: str) -> TBox:
+    """Read a TBox from a file in either supported syntax."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith(("Prefix(", "Ontology(")):
+        return parse_owl_functional(text, name=Path(path).stem).tbox
+    return parse_tbox(text, name=Path(path).stem)
+
+
+def _cmd_classify(args) -> int:
+    tbox = load_ontology_file(args.ontology)
+    classifier = GraphClassifier(closure_algorithm=args.closure)
+    classification = classifier.classify(tbox)
+    stats = tbox.stats()
+    print(f"ontology:  {tbox.name}")
+    print(
+        f"signature: {stats['concepts']} concepts, {stats['roles']} roles, "
+        f"{stats['attributes']} attributes"
+    )
+    print(f"axioms:    {stats['axioms']}")
+    print(
+        f"timings:   build {classifier.timings.build_ms:.1f}ms, "
+        f"closure {classifier.timings.closure_ms:.1f}ms, "
+        f"computeUnsat {classifier.timings.unsat_ms:.1f}ms"
+    )
+    print(f"subsumptions (named, non-trivial): {classification.subsumption_count()}")
+    unsat = sorted(str(node) for node in classification.unsatisfiable())
+    print(f"unsatisfiable: {', '.join(unsat) if unsat else 'none'}")
+    if args.list:
+        for axiom in sorted(classification.subsumptions(named_only=True), key=str):
+            print(f"  {axiom}")
+    return 0
+
+
+def _cmd_implication(args) -> int:
+    tbox = load_ontology_file(args.ontology)
+    checker = ImplicationChecker.for_tbox(tbox)
+    axiom = parse_axiom(args.axiom)
+    entailed = checker.entails(axiom)
+    print(f"T ⊨ {axiom} ?  {'yes' if entailed else 'no'}")
+    return 0 if entailed else 1
+
+
+def _cmd_rewrite(args) -> int:
+    from .obda import parse_query, perfect_ref, presto_rewrite
+
+    tbox = load_ontology_file(args.ontology)
+    query = parse_query(args.query)
+    if args.method == "presto":
+        rewriting = presto_rewrite(query, tbox)
+        print(f"# datalog program, size {rewriting.size} atoms")
+        print(rewriting)
+    else:
+        rewritten = perfect_ref(query, tbox)
+        print(f"# UCQ with {len(rewritten)} disjuncts")
+        print(rewritten)
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from .graphical import render_svg, tbox_to_diagram
+
+    tbox = load_ontology_file(args.ontology)
+    svg = render_svg(tbox_to_diagram(tbox), title=tbox.name)
+    if args.output:
+        Path(args.output).write_text(svg)
+        print(f"wrote {args.output}")
+    else:
+        print(svg)
+    return 0
+
+
+def _cmd_doc(args) -> int:
+    from .docs import DocumentationOptions, generate_documentation
+
+    tbox = load_ontology_file(args.ontology)
+    text = generate_documentation(
+        tbox, options=DocumentationOptions(title=args.title)
+    )
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .evolution import diff_tboxes, render_diff
+
+    old = load_ontology_file(args.old)
+    new = load_ontology_file(args.new)
+    diff = diff_tboxes(old, new)
+    print(render_diff(diff), end="")
+    if args.check and not diff.is_safe_extension:
+        return 1
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from .obda.mapping_analysis import analyze_mappings  # noqa: F401 (re-export check)
+
+    tbox = load_ontology_file(args.ontology)
+    from .core import GraphClassifier
+
+    classification = GraphClassifier().classify(tbox)
+    problems = 0
+    unsat = sorted(str(n) for n in classification.unsatisfiable())
+    for name in unsat:
+        print(f"[error/semantics] unsatisfiable predicate: {name}")
+        problems += 1
+    # predicates declared but never constrained
+    from .dllite.axioms import axiom_signature
+
+    used = set()
+    for axiom in tbox:
+        used.update(axiom_signature(axiom))
+    for predicate in tbox.signature:
+        if predicate not in used:
+            print(f"[warning/coverage] predicate declared but unused: {predicate}")
+            problems += 1
+    if problems == 0:
+        print("no issues found")
+    return 1 if unsat else 0
+
+
+def _cmd_corpus(args) -> int:
+    from .corpus import FIGURE1_ORDER, load_profile
+    from .dllite import serialize_owl_functional, serialize_tbox
+
+    if args.list:
+        for name in FIGURE1_ORDER:
+            print(name)
+        return 0
+    if not args.name:
+        print("corpus: provide an ontology name or --list", file=sys.stderr)
+        return 2
+    tbox = load_profile(args.name, scale=args.scale)
+    text = (
+        serialize_owl_functional(tbox)
+        if args.format == "owl"
+        else serialize_tbox(tbox)
+    )
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(tbox)} axioms)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    from .figure1 import main as figure1_main
+
+    argv = ["--budget", str(args.budget), "--scale", str(args.scale)]
+    for ontology in args.ontology or []:
+        argv += ["--ontology", ontology]
+    return figure1_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DL-Lite classification and OBDA toolbox"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify = commands.add_parser("classify", help="classify an ontology")
+    classify.add_argument("ontology")
+    classify.add_argument("--closure", default="scc_bitset")
+    classify.add_argument("--list", action="store_true", help="print every subsumption")
+    classify.set_defaults(handler=_cmd_classify)
+
+    implication = commands.add_parser("implication", help="decide T ⊨ α")
+    implication.add_argument("ontology")
+    implication.add_argument("axiom", help='e.g. "A isa exists P . B"')
+    implication.set_defaults(handler=_cmd_implication)
+
+    rewrite = commands.add_parser("rewrite", help="rewrite a conjunctive query")
+    rewrite.add_argument("ontology")
+    rewrite.add_argument("query", help='e.g. "q(x) :- Teacher(x)"')
+    rewrite.add_argument(
+        "--method", choices=["perfectref", "presto"], default="perfectref"
+    )
+    rewrite.set_defaults(handler=_cmd_rewrite)
+
+    render = commands.add_parser("render", help="render the ontology diagram as SVG")
+    render.add_argument("ontology")
+    render.add_argument("-o", "--output")
+    render.set_defaults(handler=_cmd_render)
+
+    doc = commands.add_parser("doc", help="generate Markdown documentation")
+    doc.add_argument("ontology")
+    doc.add_argument("-o", "--output")
+    doc.add_argument("--title")
+    doc.set_defaults(handler=_cmd_doc)
+
+    diff = commands.add_parser("diff", help="diff two ontology versions")
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the new version is a safe extension",
+    )
+    diff.set_defaults(handler=_cmd_diff)
+
+    lint = commands.add_parser("lint", help="design-quality checks on an ontology")
+    lint.add_argument("ontology")
+    lint.set_defaults(handler=_cmd_lint)
+
+    corpus = commands.add_parser("corpus", help="emit a Figure 1 benchmark ontology")
+    corpus.add_argument("name", nargs="?")
+    corpus.add_argument("--list", action="store_true")
+    corpus.add_argument("--scale", type=float, default=1.0)
+    corpus.add_argument("--format", choices=["text", "owl"], default="text")
+    corpus.add_argument("-o", "--output")
+    corpus.set_defaults(handler=_cmd_corpus)
+
+    figure1 = commands.add_parser("figure1", help="run the Figure 1 grid")
+    figure1.add_argument("--budget", type=float, default=60.0)
+    figure1.add_argument("--scale", type=float, default=1.0)
+    figure1.add_argument("--ontology", action="append")
+    figure1.set_defaults(handler=_cmd_figure1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: graph-based DL-Lite classification.
+
+Pipeline (paper §5): TBox → digraph ``G_T`` (Definition 1) → transitive
+closure → Φ_T (Theorem 1) → ``computeUnsat`` → Ω_T → sound & complete
+classification; plus deductive closure and the logical-implication
+service built on top.
+"""
+
+from .classifier import GraphClassifier, classify
+from .classify import Classification, make_inclusion, phi_inclusions
+from .closure import CLOSURE_ALGORITHMS, transitive_closure
+from .deductive import deductive_closure, negative_closure, qualified_inclusions
+from .digraph import (
+    ATTRIBUTE_SORT,
+    CONCEPT_SORT,
+    ROLE_SORT,
+    TBoxDigraph,
+    build_digraph,
+)
+from .implication import ImplicationChecker, entails_without_closure
+from .unsat import compute_unsat
+
+__all__ = [
+    "ATTRIBUTE_SORT",
+    "CLOSURE_ALGORITHMS",
+    "CONCEPT_SORT",
+    "Classification",
+    "GraphClassifier",
+    "ImplicationChecker",
+    "ROLE_SORT",
+    "TBoxDigraph",
+    "build_digraph",
+    "classify",
+    "compute_unsat",
+    "deductive_closure",
+    "entails_without_closure",
+    "make_inclusion",
+    "negative_closure",
+    "phi_inclusions",
+    "qualified_inclusions",
+    "transitive_closure",
+]

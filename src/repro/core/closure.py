@@ -1,0 +1,216 @@
+"""Transitive closure of the TBox digraph.
+
+Computing the closure of ``G_T`` is "the major sub-task in ontology
+classification" (paper §5), so three interchangeable algorithms are
+provided — the default used by the QuOnto-like classifier, and two
+alternatives kept for the closure ablation (DESIGN.md experiment E5):
+
+``scc_bitset`` (default)
+    Tarjan SCC condensation, then one reverse-topological pass over the
+    condensation DAG accumulating descendant sets as Python integer
+    bitsets.  Equivalent nodes (cycles of inclusions) share one bitset.
+
+``bfs``
+    A per-node breadth-first search; simple, O(N·E).
+
+``dense``
+    Boolean-matrix reachability via repeated squaring with numpy; cubic
+    but with a tiny constant, competitive on small dense graphs.
+
+All three return the *reflexive*-transitive closure as a list of integer
+bitsets aligned with ``graph.nodes`` (bit ``j`` of ``closure[i]`` set iff
+node ``j`` is reachable from node ``i``, including ``i`` itself).
+Reflexivity matches the trivial subsumptions ``S ⊑ S`` and simplifies the
+predecessor-set intersections of ``computeUnsat``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..util.timing import Stopwatch
+
+__all__ = [
+    "transitive_closure",
+    "closure_scc_bitset",
+    "closure_bfs",
+    "closure_dense",
+    "CLOSURE_ALGORITHMS",
+]
+
+
+def closure_scc_bitset(
+    successors: Sequence[Set[int]], watch: Optional[Stopwatch] = None
+) -> List[int]:
+    """SCC condensation + reverse-topological bitset DP (the default)."""
+    node_count = len(successors)
+    component_of = _tarjan_scc(successors)
+    component_count = max(component_of) + 1 if node_count else 0
+
+    # Members and condensed arcs; Tarjan emits components in reverse
+    # topological order (every arc goes from a higher to a lower id).
+    members: List[List[int]] = [[] for _ in range(component_count)]
+    for node, component in enumerate(component_of):
+        members[component].append(node)
+    condensed: List[Set[int]] = [set() for _ in range(component_count)]
+    for node in range(node_count):
+        for target in successors[node]:
+            if component_of[target] != component_of[node]:
+                condensed[component_of[node]].add(component_of[target])
+
+    component_mask: List[int] = [0] * component_count
+    for component, nodes in enumerate(members):
+        mask = 0
+        for node in nodes:
+            mask |= 1 << node
+        component_mask[component] = mask
+
+    # Process components in topological order (increasing id): successors
+    # have lower ids, so their reach sets are ready... Tarjan assigns lower
+    # ids to components found first, which are the "sink-most" ones.
+    reach: List[int] = [0] * component_count
+    for component in range(component_count):
+        if watch is not None:
+            watch.check_budget()
+        mask = component_mask[component]
+        for successor in condensed[component]:
+            mask |= reach[successor]
+        reach[component] = mask
+
+    return [reach[component_of[node]] for node in range(node_count)]
+
+
+def _tarjan_scc(successors: Sequence[Set[int]]) -> List[int]:
+    """Iterative Tarjan; returns the component id of each node.
+
+    Components are numbered in reverse topological order: if there is an
+    arc from component ``c1`` to ``c2`` (c1 != c2) then ``c1 > c2``.
+    """
+    node_count = len(successors)
+    index_counter = 0
+    component_counter = 0
+    indices = [-1] * node_count
+    lowlink = [0] * node_count
+    on_stack = [False] * node_count
+    component_of = [-1] * node_count
+    stack: List[int] = []
+
+    for root in range(node_count):
+        if indices[root] != -1:
+            continue
+        # Explicit DFS stack of (node, iterator position) to avoid recursion
+        # limits on deep hierarchies (FMA-shaped ontologies are deep).
+        work = [(root, iter(successors[root]))]
+        indices[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, successor_iter = work[-1]
+            advanced = False
+            for target in successor_iter:
+                if indices[target] == -1:
+                    indices[target] = lowlink[target] = index_counter
+                    index_counter += 1
+                    stack.append(target)
+                    on_stack[target] = True
+                    work.append((target, iter(successors[target])))
+                    advanced = True
+                    break
+                if on_stack[target]:
+                    lowlink[node] = min(lowlink[node], indices[target])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == indices[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component_of[member] = component_counter
+                    if member == node:
+                        break
+                component_counter += 1
+    return component_of
+
+
+def closure_bfs(
+    successors: Sequence[Set[int]], watch: Optional[Stopwatch] = None
+) -> List[int]:
+    """Per-node BFS reachability (the naive ablation variant)."""
+    node_count = len(successors)
+    closure: List[int] = [0] * node_count
+    for source in range(node_count):
+        if watch is not None and source % 256 == 0:
+            watch.check_budget()
+        seen = 1 << source
+        frontier = [source]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for target in successors[node]:
+                    bit = 1 << target
+                    if not seen & bit:
+                        seen |= bit
+                        next_frontier.append(target)
+            frontier = next_frontier
+        closure[source] = seen
+    return closure
+
+
+def closure_dense(
+    successors: Sequence[Set[int]], watch: Optional[Stopwatch] = None
+) -> List[int]:
+    """Dense boolean-matrix closure via repeated squaring (numpy)."""
+    import numpy
+
+    node_count = len(successors)
+    if node_count == 0:
+        return []
+    # float32 so the squaring runs through BLAS; booleanized after each step.
+    matrix = numpy.zeros((node_count, node_count), dtype=numpy.float32)
+    for source, targets in enumerate(successors):
+        for target in targets:
+            matrix[source, target] = 1.0
+    numpy.fill_diagonal(matrix, 1.0)
+    while True:
+        if watch is not None:
+            watch.check_budget()
+        squared = (matrix @ matrix) > 0.0
+        squared = squared.astype(numpy.float32)
+        if (squared == matrix).all():
+            break
+        matrix = squared
+    matrix = matrix > 0.0
+    closure: List[int] = []
+    for source in range(node_count):
+        mask = 0
+        for target in numpy.flatnonzero(matrix[source]):
+            mask |= 1 << int(target)
+        closure.append(mask)
+    return closure
+
+
+CLOSURE_ALGORITHMS: Dict[str, Callable[..., List[int]]] = {
+    "scc_bitset": closure_scc_bitset,
+    "bfs": closure_bfs,
+    "dense": closure_dense,
+}
+
+
+def transitive_closure(
+    successors: Sequence[Set[int]],
+    algorithm: str = "scc_bitset",
+    watch: Optional[Stopwatch] = None,
+) -> List[int]:
+    """Reflexive-transitive closure of an integer digraph as bitsets."""
+    try:
+        implementation = CLOSURE_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown closure algorithm {algorithm!r}; "
+            f"choose from {sorted(CLOSURE_ALGORITHMS)}"
+        ) from None
+    return implementation(successors, watch)

@@ -1,0 +1,170 @@
+"""The digraph representation of a DL-Lite TBox (paper §5, Definition 1).
+
+Given a TBox ``T`` over signature ``Σ``, the digraph ``G_T = (N, E)`` has
+
+1. a node ``A`` for each atomic concept ``A`` in ``Σ``;
+2. nodes ``P``, ``P⁻``, ``∃P``, ``∃P⁻`` for each atomic role ``P`` in ``Σ``;
+3. an arc ``(B1, B2)`` for each concept inclusion ``B1 ⊑ B2`` in ``T``;
+4. arcs ``(Q1, Q2)``, ``(Q1⁻, Q2⁻)``, ``(∃Q1, ∃Q2)``, ``(∃Q1⁻, ∃Q2⁻)``
+   for each role inclusion ``Q1 ⊑ Q2`` in ``T``;
+5. an arc ``(B1, ∃Q)`` for each concept inclusion ``B1 ⊑ ∃Q.A`` in ``T``
+   (the qualified existential is weakened to its unqualified form — the
+   filler is recovered later by the deductive-closure machinery).
+
+We additionally carry the DL-Lite_A attribute constructs the paper's
+Theorem 1 mentions: nodes ``U`` and ``δ(U)`` per atomic attribute, with an
+attribute inclusion ``U1 ⊑ U2`` contributing ``(U1, U2)`` and
+``(δ(U1), δ(U2))``.
+
+Nodes are plain :mod:`repro.dllite.syntax` expression objects; arcs model
+the positive inclusions of ``T`` only — negative inclusions feed
+``computeUnsat`` (:mod:`repro.core.unsat`) instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..dllite.axioms import (
+    AttributeInclusion,
+    ConceptInclusion,
+    RoleInclusion,
+)
+from ..dllite.syntax import (
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeDomain,
+    ExistentialRole,
+    InverseRole,
+    QualifiedExistential,
+    inverse_of,
+)
+from ..dllite.tbox import TBox
+
+__all__ = ["TBoxDigraph", "build_digraph", "CONCEPT_SORT", "ROLE_SORT", "ATTRIBUTE_SORT"]
+
+CONCEPT_SORT = "concept"
+ROLE_SORT = "role"
+ATTRIBUTE_SORT = "attribute"
+
+
+def sort_of(node) -> str:
+    """The sort of a digraph node — inclusions only relate same-sort nodes."""
+    if isinstance(node, (AtomicConcept, ExistentialRole, AttributeDomain)):
+        return CONCEPT_SORT
+    if isinstance(node, (AtomicRole, InverseRole)):
+        return ROLE_SORT
+    if isinstance(node, AtomicAttribute):
+        return ATTRIBUTE_SORT
+    raise TypeError(f"not a digraph node: {node!r}")
+
+
+class TBoxDigraph:
+    """``G_T`` plus the index structures the reasoning algorithms need.
+
+    Node identifiers are dense integers (``self.nodes[i]`` is the i-th
+    expression) so the closure algorithms can use array/bitset
+    representations; the expression-level API converts transparently.
+    """
+
+    def __init__(self, tbox: TBox):
+        self.tbox = tbox
+        self.nodes: List = []
+        self.index: Dict[object, int] = {}
+        self.successors: List[Set[int]] = []
+        self.predecessors: List[Set[int]] = []
+        self._arc_count = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, expression) -> int:
+        node_id = self.index.get(expression)
+        if node_id is None:
+            node_id = len(self.nodes)
+            self.index[expression] = node_id
+            self.nodes.append(expression)
+            self.successors.append(set())
+            self.predecessors.append(set())
+        return node_id
+
+    def add_arc(self, source, target) -> None:
+        source_id = self.add_node(source)
+        target_id = self.add_node(target)
+        if target_id not in self.successors[source_id]:
+            self.successors[source_id].add(target_id)
+            self.predecessors[target_id].add(source_id)
+            self._arc_count += 1
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def arc_count(self) -> int:
+        return self._arc_count
+
+    def node_id(self, expression) -> int:
+        try:
+            return self.index[expression]
+        except KeyError:
+            raise KeyError(f"expression not in digraph: {expression}") from None
+
+    def __contains__(self, expression) -> bool:
+        return expression in self.index
+
+    def arcs(self) -> Iterable[Tuple[object, object]]:
+        for source_id, targets in enumerate(self.successors):
+            for target_id in targets:
+                yield self.nodes[source_id], self.nodes[target_id]
+
+    def nodes_of_sort(self, sort: str) -> List[int]:
+        return [i for i, node in enumerate(self.nodes) if sort_of(node) == sort]
+
+    def sorts(self) -> List[str]:
+        """Per-node sort labels, aligned with ``self.nodes``."""
+        return [sort_of(node) for node in self.nodes]
+
+    def __repr__(self) -> str:
+        return f"TBoxDigraph({self.node_count} nodes, {self.arc_count} arcs)"
+
+
+def build_digraph(tbox: TBox) -> TBoxDigraph:
+    """Build ``G_T`` from *tbox* following Definition 1 (plus attributes)."""
+    graph = TBoxDigraph(tbox)
+
+    # Rule 1-2: signature nodes (declared predicates included, so that
+    # classification reports isolated predicates too).
+    for concept in tbox.signature.concepts:
+        graph.add_node(concept)
+    for role in tbox.signature.roles:
+        graph.add_node(role)
+        graph.add_node(InverseRole(role))
+        graph.add_node(ExistentialRole(role))
+        graph.add_node(ExistentialRole(InverseRole(role)))
+    for attribute in tbox.signature.attributes:
+        graph.add_node(attribute)
+        graph.add_node(AttributeDomain(attribute))
+
+    # Rules 3-5: one batch of arcs per positive inclusion.
+    for axiom in tbox.positive_inclusions:
+        if isinstance(axiom, ConceptInclusion):
+            if isinstance(axiom.rhs, QualifiedExistential):
+                # Rule 5: B1 ⊑ ∃Q.A contributes (B1, ∃Q) only.
+                graph.add_arc(axiom.lhs, ExistentialRole(axiom.rhs.role))
+            else:
+                graph.add_arc(axiom.lhs, axiom.rhs)
+        elif isinstance(axiom, RoleInclusion):
+            lhs, rhs = axiom.lhs, axiom.rhs
+            graph.add_arc(lhs, rhs)
+            graph.add_arc(inverse_of(lhs), inverse_of(rhs))
+            graph.add_arc(ExistentialRole(lhs), ExistentialRole(rhs))
+            graph.add_arc(
+                ExistentialRole(inverse_of(lhs)), ExistentialRole(inverse_of(rhs))
+            )
+        elif isinstance(axiom, AttributeInclusion):
+            graph.add_arc(axiom.lhs, axiom.rhs)
+            graph.add_arc(AttributeDomain(axiom.lhs), AttributeDomain(axiom.rhs))
+    return graph

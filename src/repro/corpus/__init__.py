@@ -1,0 +1,13 @@
+"""Synthetic benchmark corpus standing in for the Figure 1 ontologies."""
+
+from .generator import OntologyProfile, generate
+from .profiles import FIGURE1_ORDER, PROFILES, figure1_tboxes, load_profile
+
+__all__ = [
+    "FIGURE1_ORDER",
+    "OntologyProfile",
+    "PROFILES",
+    "figure1_tboxes",
+    "generate",
+    "load_profile",
+]

@@ -1,0 +1,223 @@
+"""The eleven Figure 1 benchmark ontology profiles.
+
+Each profile mirrors the published shape of the corresponding real
+ontology (class/property counts, hierarchy character, disjointness) at
+roughly **one tenth** of its size, so that the full 11x5 grid — including
+the baselines that blow up quadratically — runs on a single machine.
+The `provenance` field records the real ontology's approximate size for
+reference.  Classification *cost drivers* scale with the same shape, so
+the Figure 1 comparison (who wins, by what rough factor, where the
+timeout/out-of-memory cells fall) is preserved; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dllite.tbox import TBox
+from .generator import OntologyProfile, generate
+
+__all__ = ["PROFILES", "FIGURE1_ORDER", "load_profile", "figure1_tboxes"]
+
+
+PROFILES: Dict[str, OntologyProfile] = {
+    profile.name: profile
+    for profile in [
+        OntologyProfile(
+            name="Mouse",
+            concepts=1100,
+            roles=3,
+            depth=9,
+            roots=4,
+            extra_parent_fraction=0.05,
+            existential_fraction=0.30,
+            qualified_fraction=0.0,
+            provenance="Mouse anatomy: ~2.7k classes, 2-3 properties (part_of), "
+            "tree-like; scaled ~1:2.5",
+            seed=101,
+        ),
+        OntologyProfile(
+            name="Transportation",
+            concepts=440,
+            roles=60,
+            attributes=10,
+            depth=7,
+            roots=6,
+            extra_parent_fraction=0.08,
+            existential_fraction=0.20,
+            qualified_fraction=0.10,
+            disjointness=80,
+            provenance="DAML transportation ontology: ~440 classes, rich "
+            "property box and disjointness; ~1:1",
+            seed=102,
+        ),
+        OntologyProfile(
+            name="DOLCE",
+            concepts=200,
+            roles=310,
+            attributes=40,
+            depth=6,
+            roots=3,
+            extra_parent_fraction=0.25,
+            role_depth=5,
+            role_inverse_fraction=0.30,
+            domain_range_fraction=0.85,
+            existential_fraction=0.55,
+            qualified_fraction=0.30,
+            disjointness=350,
+            role_disjointness=40,
+            provenance="DOLCE (full module suite): small class count, very "
+            "role-heavy, pervasive disjointness; ~1:1",
+            seed=103,
+        ),
+        OntologyProfile(
+            name="AEO",
+            concepts=700,
+            roles=16,
+            attributes=8,
+            depth=8,
+            roots=5,
+            extra_parent_fraction=0.05,
+            existential_fraction=0.20,
+            qualified_fraction=0.05,
+            disjointness=450,
+            unsat_seeds=3,
+            provenance="Athletic Events Ontology: ~760 classes with heavy "
+            "sibling disjointness; ~1:1",
+            seed=104,
+        ),
+        OntologyProfile(
+            name="Gene",
+            concepts=2600,
+            roles=4,
+            depth=12,
+            roots=3,
+            extra_parent_fraction=0.05,
+            existential_fraction=0.35,
+            qualified_fraction=0.15,
+            provenance="Gene Ontology (2012 vintage): ~36k classes, few "
+            "properties (part_of/regulates), DAG; scaled ~1:14",
+            seed=105,
+        ),
+        OntologyProfile(
+            name="EL-Galen",
+            concepts=2300,
+            roles=190,
+            depth=11,
+            roots=8,
+            extra_parent_fraction=0.06,
+            role_depth=5,
+            domain_range_fraction=0.60,
+            existential_fraction=0.60,
+            qualified_fraction=0.50,
+            provenance="EL-GALEN: ~23k classes, ~950 properties, qualified "
+            "existentials everywhere; scaled ~1:10",
+            seed=106,
+        ),
+        OntologyProfile(
+            name="Galen",
+            concepts=2400,
+            roles=240,
+            depth=11,
+            roots=8,
+            extra_parent_fraction=0.07,
+            role_depth=6,
+            role_inverse_fraction=0.25,
+            domain_range_fraction=0.65,
+            existential_fraction=0.70,
+            qualified_fraction=0.55,
+            disjointness=14,
+            provenance="full GALEN (QL approximation): ~23k classes, ~950 "
+            "properties with hierarchy and inverses; scaled ~1:10",
+            seed=107,
+        ),
+        OntologyProfile(
+            name="FMA 1.4",
+            concepts=3600,
+            roles=7,
+            attributes=20,
+            depth=15,
+            roots=1,
+            extra_parent_fraction=0.08,
+            existential_fraction=0.25,
+            qualified_fraction=0.10,
+            provenance="FMA 1.4 (lite): ~72k classes, handful of properties, "
+            "deep taxonomy; scaled ~1:20",
+            seed=108,
+        ),
+        OntologyProfile(
+            name="FMA 2.0",
+            concepts=4800,
+            roles=30,
+            attributes=30,
+            depth=17,
+            roots=1,
+            extra_parent_fraction=0.85,
+            extra_parents_max=2,
+            existential_fraction=0.30,
+            qualified_fraction=0.12,
+            provenance="FMA 2.0: ~78k classes, wide multi-parent DAG; "
+            "scaled ~1:16 (kept the widest/deepest of the FMA family)",
+            seed=109,
+        ),
+        OntologyProfile(
+            name="FMA 3.2.1",
+            concepts=2900,
+            roles=24,
+            attributes=30,
+            depth=14,
+            roots=1,
+            extra_parent_fraction=0.10,
+            existential_fraction=0.25,
+            qualified_fraction=0.10,
+            provenance="FMA 3.2.1 (QL approximation): leaner release of the "
+            "FMA taxonomy; scaled ~1:25",
+            seed=110,
+        ),
+        OntologyProfile(
+            name="FMA-OBO",
+            concepts=3100,
+            roles=10,
+            depth=14,
+            roots=2,
+            extra_parent_fraction=0.04,
+            existential_fraction=0.30,
+            qualified_fraction=0.10,
+            provenance="FMA OBO export: ~75k terms, is_a/part_of only; "
+            "scaled ~1:24",
+            seed=111,
+        ),
+    ]
+}
+
+#: Row order of the paper's Figure 1.
+FIGURE1_ORDER: List[str] = [
+    "Mouse",
+    "Transportation",
+    "DOLCE",
+    "AEO",
+    "Gene",
+    "EL-Galen",
+    "Galen",
+    "FMA 1.4",
+    "FMA 2.0",
+    "FMA 3.2.1",
+    "FMA-OBO",
+]
+
+
+def load_profile(name: str, scale: float = 1.0) -> TBox:
+    """Generate the named benchmark TBox (optionally rescaled)."""
+    try:
+        profile = PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark ontology {name!r}; choose from {FIGURE1_ORDER}"
+        ) from None
+    return generate(profile, scale=scale)
+
+
+def figure1_tboxes(scale: float = 1.0):
+    """Yield ``(name, tbox)`` for every Figure 1 row, in paper order."""
+    for name in FIGURE1_ORDER:
+        yield name, load_profile(name, scale=scale)

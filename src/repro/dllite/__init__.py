@@ -1,0 +1,105 @@
+"""DL-Lite_R / DL-Lite_A: expressions, axioms, TBox/ABox, parsers, semantics.
+
+This package is the language substrate every other component builds on
+(paper §4).  The most common entry points:
+
+>>> from repro.dllite import parse_tbox
+>>> tbox = parse_tbox('''
+...     role isPartOf
+...     County isa exists isPartOf . State
+...     State isa exists isPartOf^- . County
+... ''')
+>>> len(tbox)
+2
+"""
+
+from .abox import (
+    ABox,
+    Assertion,
+    AttributeAssertion,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+)
+from .axioms import (
+    AttributeInclusion,
+    Axiom,
+    ConceptInclusion,
+    FunctionalAttribute,
+    FunctionalRole,
+    Inclusion,
+    RoleInclusion,
+)
+from .ntriples import parse_ntriples, serialize_ntriples
+from .ontology import Ontology
+from .owlfs import parse_owl_functional, serialize_owl_functional
+from .parser import parse_axiom, parse_concept, parse_role, parse_tbox, serialize_tbox
+from .semantics import Interpretation, entails, find_countermodel
+from .syntax import (
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeDomain,
+    BasicConcept,
+    BasicRole,
+    ExistentialRole,
+    GeneralConcept,
+    GeneralRole,
+    InverseRole,
+    NegatedAttribute,
+    NegatedConcept,
+    NegatedRole,
+    QualifiedExistential,
+    exists,
+    inverse_of,
+    negate,
+)
+from .tbox import Signature, TBox
+
+__all__ = [
+    "ABox",
+    "Assertion",
+    "AtomicAttribute",
+    "AtomicConcept",
+    "AtomicRole",
+    "AttributeAssertion",
+    "AttributeDomain",
+    "AttributeInclusion",
+    "Axiom",
+    "BasicConcept",
+    "BasicRole",
+    "ConceptAssertion",
+    "ConceptInclusion",
+    "ExistentialRole",
+    "FunctionalAttribute",
+    "FunctionalRole",
+    "GeneralConcept",
+    "GeneralRole",
+    "Inclusion",
+    "Individual",
+    "Interpretation",
+    "InverseRole",
+    "NegatedAttribute",
+    "NegatedConcept",
+    "NegatedRole",
+    "Ontology",
+    "QualifiedExistential",
+    "RoleAssertion",
+    "RoleInclusion",
+    "Signature",
+    "TBox",
+    "entails",
+    "exists",
+    "find_countermodel",
+    "inverse_of",
+    "negate",
+    "parse_axiom",
+    "parse_concept",
+    "parse_ntriples",
+    "parse_owl_functional",
+    "parse_role",
+    "parse_tbox",
+    "serialize_ntriples",
+    "serialize_owl_functional",
+    "serialize_tbox",
+]

@@ -1,0 +1,147 @@
+"""ABox assertions and the ABox container.
+
+In a full OBDA deployment the ABox is *virtual* — it is the image of the
+source database under the mappings (:mod:`repro.obda.mapping`).  The same
+container is used both for explicitly-authored extensional data (tests,
+examples) and for materialized virtual ABoxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Set, Tuple, Union
+
+from .syntax import AtomicAttribute, AtomicConcept, AtomicRole
+
+__all__ = [
+    "Individual",
+    "ConceptAssertion",
+    "RoleAssertion",
+    "AttributeAssertion",
+    "Assertion",
+    "ABox",
+]
+
+
+@dataclass(frozen=True)
+class Individual:
+    """A named individual constant."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConceptAssertion:
+    """``A(a)`` — membership of an individual in an atomic concept."""
+
+    concept: AtomicConcept
+    individual: Individual
+
+    def __str__(self) -> str:
+        return f"{self.concept}({self.individual})"
+
+
+@dataclass(frozen=True)
+class RoleAssertion:
+    """``P(a, b)`` — a role link between two individuals."""
+
+    role: AtomicRole
+    subject: Individual
+    object: Individual
+
+    def __str__(self) -> str:
+        return f"{self.role}({self.subject}, {self.object})"
+
+
+@dataclass(frozen=True)
+class AttributeAssertion:
+    """``U(a, v)`` — an attribute value (``v`` is a Python literal)."""
+
+    attribute: AtomicAttribute
+    subject: Individual
+    value: Union[str, int, float, bool]
+
+    def __str__(self) -> str:
+        return f"{self.attribute}({self.subject}, {self.value!r})"
+
+
+Assertion = Union[ConceptAssertion, RoleAssertion, AttributeAssertion]
+
+
+class ABox:
+    """A set of membership assertions with per-predicate indexes."""
+
+    def __init__(self, assertions: Iterable[Assertion] = ()):
+        self._assertions: Set[Assertion] = set()
+        self._concept_index: Dict[AtomicConcept, Set[Individual]] = {}
+        self._role_index: Dict[AtomicRole, Set[Tuple[Individual, Individual]]] = {}
+        self._attribute_index: Dict[AtomicAttribute, Set[Tuple[Individual, object]]] = {}
+        for assertion in assertions:
+            self.add(assertion)
+
+    def add(self, assertion: Assertion) -> bool:
+        if assertion in self._assertions:
+            return False
+        self._assertions.add(assertion)
+        if isinstance(assertion, ConceptAssertion):
+            self._concept_index.setdefault(assertion.concept, set()).add(
+                assertion.individual
+            )
+        elif isinstance(assertion, RoleAssertion):
+            self._role_index.setdefault(assertion.role, set()).add(
+                (assertion.subject, assertion.object)
+            )
+        elif isinstance(assertion, AttributeAssertion):
+            self._attribute_index.setdefault(assertion.attribute, set()).add(
+                (assertion.subject, assertion.value)
+            )
+        else:
+            self._assertions.discard(assertion)
+            raise TypeError(f"not an ABox assertion: {assertion!r}")
+        return True
+
+    def extend(self, assertions: Iterable[Assertion]) -> int:
+        return sum(1 for assertion in assertions if self.add(assertion))
+
+    # -- lookups used by query evaluation -----------------------------------
+
+    def concept_instances(self, concept: AtomicConcept) -> Set[Individual]:
+        return self._concept_index.get(concept, set())
+
+    def role_pairs(self, role: AtomicRole) -> Set[Tuple[Individual, Individual]]:
+        return self._role_index.get(role, set())
+
+    def attribute_pairs(self, attribute: AtomicAttribute) -> Set[Tuple[Individual, object]]:
+        return self._attribute_index.get(attribute, set())
+
+    def individuals(self) -> Set[Individual]:
+        """Every individual mentioned anywhere in the ABox."""
+        result: Set[Individual] = set()
+        for members in self._concept_index.values():
+            result.update(members)
+        for pairs in self._role_index.values():
+            for subject, object_ in pairs:
+                result.add(subject)
+                result.add(object_)
+        for pairs in self._attribute_index.values():
+            for subject, _ in pairs:
+                result.add(subject)
+        return result
+
+    def __iter__(self) -> Iterator[Assertion]:
+        return iter(self._assertions)
+
+    def __len__(self) -> int:
+        return len(self._assertions)
+
+    def __contains__(self, assertion: Assertion) -> bool:
+        return assertion in self._assertions
+
+    def copy(self) -> "ABox":
+        return ABox(self._assertions)
+
+    def __repr__(self) -> str:
+        return f"ABox({len(self)} assertions)"

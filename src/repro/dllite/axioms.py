@@ -1,0 +1,232 @@
+"""TBox axioms of DL-Lite_R / DL-Lite_A (paper §4).
+
+A DL-Lite_R TBox is a finite set of axioms ``B ⊑ C`` and ``Q ⊑ R``;
+DL-Lite_A additionally allows attribute inclusions ``U1 ⊑ V`` and
+(local) functionality assertions ``(funct Q)`` / ``(funct U)``.  Following
+the paper we call *positive inclusions* (PIs) the axioms whose right-hand
+side carries no negation, and *negative inclusions* (NIs) the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import LanguageViolation
+from .syntax import (
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeDomain,
+    BasicConcept,
+    BasicRole,
+    ExistentialRole,
+    GeneralAttribute,
+    GeneralConcept,
+    GeneralRole,
+    InverseRole,
+    NegatedAttribute,
+    NegatedConcept,
+    NegatedRole,
+    QualifiedExistential,
+    is_basic_concept,
+    is_basic_role,
+    is_general_concept,
+    is_general_role,
+    to_ascii,
+)
+
+__all__ = [
+    "Axiom",
+    "ConceptInclusion",
+    "RoleInclusion",
+    "AttributeInclusion",
+    "FunctionalRole",
+    "FunctionalAttribute",
+    "Inclusion",
+]
+
+
+class Axiom:
+    """Common base class of every TBox axiom."""
+
+    __slots__ = ()
+
+    @property
+    def is_positive(self) -> bool:
+        """True for positive inclusions (no negation on the right-hand side)."""
+        return False
+
+    @property
+    def is_negative(self) -> bool:
+        """True for negative inclusions (disjointness assertions)."""
+        return False
+
+
+@dataclass(frozen=True)
+class ConceptInclusion(Axiom):
+    """``B ⊑ C`` — a subsumption between concepts.
+
+    The left-hand side must be a *basic* concept; DL-Lite forbids
+    qualified existentials and negation on the left.
+    """
+
+    lhs: BasicConcept
+    rhs: GeneralConcept
+
+    def __post_init__(self):
+        if not is_basic_concept(self.lhs):
+            raise LanguageViolation(
+                f"left-hand side of a concept inclusion must be basic: {self.lhs}"
+            )
+        if not is_general_concept(self.rhs):
+            raise LanguageViolation(
+                f"right-hand side is not a DL-Lite general concept: {self.rhs}"
+            )
+
+    @property
+    def is_positive(self) -> bool:
+        return not isinstance(self.rhs, NegatedConcept)
+
+    @property
+    def is_negative(self) -> bool:
+        return isinstance(self.rhs, NegatedConcept)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} ⊑ {self.rhs}"
+
+    def to_ascii(self) -> str:
+        return f"{to_ascii(self.lhs)} isa {to_ascii(self.rhs)}"
+
+
+@dataclass(frozen=True)
+class RoleInclusion(Axiom):
+    """``Q ⊑ R`` — a subsumption between roles."""
+
+    lhs: BasicRole
+    rhs: GeneralRole
+
+    def __post_init__(self):
+        if not is_basic_role(self.lhs):
+            raise LanguageViolation(
+                f"left-hand side of a role inclusion must be basic: {self.lhs}"
+            )
+        if not is_general_role(self.rhs):
+            raise LanguageViolation(
+                f"right-hand side is not a DL-Lite general role: {self.rhs}"
+            )
+
+    @property
+    def is_positive(self) -> bool:
+        return not isinstance(self.rhs, NegatedRole)
+
+    @property
+    def is_negative(self) -> bool:
+        return isinstance(self.rhs, NegatedRole)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} ⊑ {self.rhs}"
+
+    def to_ascii(self) -> str:
+        return f"{to_ascii(self.lhs)} isa {to_ascii(self.rhs)}"
+
+
+@dataclass(frozen=True)
+class AttributeInclusion(Axiom):
+    """``U1 ⊑ U2`` or ``U1 ⊑ ¬U2`` — a subsumption between attributes."""
+
+    lhs: AtomicAttribute
+    rhs: GeneralAttribute
+
+    def __post_init__(self):
+        if not isinstance(self.lhs, AtomicAttribute):
+            raise LanguageViolation(
+                f"left-hand side of an attribute inclusion must be atomic: {self.lhs}"
+            )
+        if not isinstance(self.rhs, (AtomicAttribute, NegatedAttribute)):
+            raise LanguageViolation(
+                f"right-hand side is not a DL-Lite general attribute: {self.rhs}"
+            )
+
+    @property
+    def is_positive(self) -> bool:
+        return isinstance(self.rhs, AtomicAttribute)
+
+    @property
+    def is_negative(self) -> bool:
+        return isinstance(self.rhs, NegatedAttribute)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} ⊑ {self.rhs}"
+
+    def to_ascii(self) -> str:
+        return f"{to_ascii(self.lhs)} isa {to_ascii(self.rhs)}"
+
+
+@dataclass(frozen=True)
+class FunctionalRole(Axiom):
+    """``(funct Q)`` — DL-Lite_A functionality, used by OBDA consistency checks."""
+
+    role: BasicRole
+
+    def __post_init__(self):
+        if not is_basic_role(self.role):
+            raise LanguageViolation(f"not a basic role: {self.role}")
+
+    def __str__(self) -> str:
+        return f"(funct {self.role})"
+
+    def to_ascii(self) -> str:
+        return f"funct {to_ascii(self.role)}"
+
+
+@dataclass(frozen=True)
+class FunctionalAttribute(Axiom):
+    """``(funct U)`` — attribute functionality."""
+
+    attribute: AtomicAttribute
+
+    def __str__(self) -> str:
+        return f"(funct {self.attribute})"
+
+    def to_ascii(self) -> str:
+        return f"funct {self.attribute.name}"
+
+
+Inclusion = Union[ConceptInclusion, RoleInclusion, AttributeInclusion]
+
+
+def axiom_signature(axiom: Axiom):
+    """Yield the atomic predicates (concepts/roles/attributes) used by *axiom*."""
+    sides: tuple = ()
+    if isinstance(axiom, (ConceptInclusion, RoleInclusion, AttributeInclusion)):
+        sides = (axiom.lhs, axiom.rhs)
+    elif isinstance(axiom, FunctionalRole):
+        sides = (axiom.role,)
+    elif isinstance(axiom, FunctionalAttribute):
+        sides = (axiom.attribute,)
+    for side in sides:
+        yield from expression_signature(side)
+
+
+def expression_signature(expr):
+    """Yield the atomic predicates occurring in a DL-Lite expression."""
+    if isinstance(expr, (AtomicConcept, AtomicRole, AtomicAttribute)):
+        yield expr
+    elif isinstance(expr, InverseRole):
+        yield expr.role
+    elif isinstance(expr, ExistentialRole):
+        yield from expression_signature(expr.role)
+    elif isinstance(expr, QualifiedExistential):
+        yield from expression_signature(expr.role)
+        yield expr.filler
+    elif isinstance(expr, NegatedConcept):
+        yield from expression_signature(expr.concept)
+    elif isinstance(expr, NegatedRole):
+        yield from expression_signature(expr.role)
+    elif isinstance(expr, AttributeDomain):
+        yield expr.attribute
+    elif isinstance(expr, NegatedAttribute):
+        yield expr.attribute
+    else:
+        raise TypeError(f"not a DL-Lite expression: {expr!r}")

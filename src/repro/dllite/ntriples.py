@@ -1,0 +1,163 @@
+"""N-Triples interchange for ABoxes (instance-level data).
+
+OBDA deployments exchange instance data as RDF; this module serializes
+an :class:`~repro.dllite.abox.ABox` to W3C N-Triples and reads it back:
+
+* ``A(a)`` ⇄ ``<base/a> rdf:type <base/A> .``
+* ``P(a, b)`` ⇄ ``<base/a> <base/P> <base/b> .``
+* ``U(a, v)`` ⇄ ``<base/a> <base/U> "v"^^xsd:... .``
+
+Individual and predicate names become IRIs under configurable
+namespaces; parsing recovers the local names, so serialize → parse is
+the identity on assertion sets (given the TBox signature to direct each
+2-ary predicate to a role or an attribute).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..errors import SyntaxError_
+from .abox import (
+    ABox,
+    AttributeAssertion,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+)
+from .syntax import AtomicAttribute, AtomicConcept, AtomicRole
+from .tbox import TBox
+
+__all__ = ["serialize_ntriples", "parse_ntriples"]
+
+_RDF_TYPE = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+_DEFAULT_DATA_NS = "http://repro.example.org/data/"
+_DEFAULT_ONTO_NS = "http://repro.example.org/onto#"
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<subject><[^>]*>)\s+(?P<predicate><[^>]*>)\s+"
+    r"(?P<object><[^>]*>|\"(?:[^\"\\]|\\.)*\"(?:\^\^<[^>]*>)?)\s*\.\s*$"
+)
+
+
+def _iri(namespace: str, name: str) -> str:
+    return f"<{namespace}{name}>"
+
+
+def _local(iri: str) -> str:
+    body = iri[1:-1]
+    if "#" in body:
+        return body.rsplit("#", 1)[1]
+    if "/" in body:
+        return body.rstrip("/").rsplit("/", 1)[1]
+    if ":" in body:
+        return body.rsplit(":", 1)[1]
+    return body
+
+
+def _literal(value) -> str:
+    if isinstance(value, bool):
+        return f'"{str(value).lower()}"^^<{_XSD}boolean>'
+    if isinstance(value, int):
+        return f'"{value}"^^<{_XSD}integer>'
+    if isinstance(value, float):
+        return f'"{value}"^^<{_XSD}decimal>'
+    escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _parse_literal(text: str):
+    match = re.match(r'"((?:[^"\\]|\\.)*)"', text)
+    body = match.group(1).replace('\\"', '"').replace("\\\\", "\\")
+    suffix = text[match.end():]
+    if suffix.startswith("^^<"):
+        datatype = suffix[3:-1]
+        if datatype.endswith("integer"):
+            return int(body)
+        if datatype.endswith(("decimal", "double", "float")):
+            return float(body)
+        if datatype.endswith("boolean"):
+            return body == "true"
+    return body
+
+
+def serialize_ntriples(
+    abox: ABox,
+    data_namespace: str = _DEFAULT_DATA_NS,
+    onto_namespace: str = _DEFAULT_ONTO_NS,
+) -> str:
+    """Render every assertion of *abox* as one N-Triples line."""
+    lines = []
+    for assertion in sorted(abox, key=str):
+        if isinstance(assertion, ConceptAssertion):
+            lines.append(
+                f"{_iri(data_namespace, assertion.individual.name)} {_RDF_TYPE} "
+                f"{_iri(onto_namespace, assertion.concept.name)} ."
+            )
+        elif isinstance(assertion, RoleAssertion):
+            lines.append(
+                f"{_iri(data_namespace, assertion.subject.name)} "
+                f"{_iri(onto_namespace, assertion.role.name)} "
+                f"{_iri(data_namespace, assertion.object.name)} ."
+            )
+        elif isinstance(assertion, AttributeAssertion):
+            lines.append(
+                f"{_iri(data_namespace, assertion.subject.name)} "
+                f"{_iri(onto_namespace, assertion.attribute.name)} "
+                f"{_literal(assertion.value)} ."
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_ntriples(text: str, tbox: Optional[TBox] = None) -> ABox:
+    """Read N-Triples back into an ABox.
+
+    Without a *tbox*, every object-IRI triple parses as a role assertion
+    and every literal triple as an attribute assertion; with a *tbox*
+    the signature resolves each predicate's sort (and unknown predicates
+    still default by object shape).
+    """
+    abox = ABox()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise SyntaxError_(
+                f"not an N-Triples line (line {line_number})", raw_line
+            )
+        subject = Individual(_local(match.group("subject")))
+        predicate_iri = match.group("predicate")
+        object_text = match.group("object")
+        if predicate_iri == _RDF_TYPE:
+            abox.add(ConceptAssertion(AtomicConcept(_local(object_text)), subject))
+            continue
+        predicate_name = _local(predicate_iri)
+        if object_text.startswith('"'):
+            abox.add(
+                AttributeAssertion(
+                    AtomicAttribute(predicate_name),
+                    subject,
+                    _parse_literal(object_text),
+                )
+            )
+            continue
+        if tbox is not None and AtomicAttribute(predicate_name) in tbox.signature.attributes:
+            abox.add(
+                AttributeAssertion(
+                    AtomicAttribute(predicate_name), subject, _local(object_text)
+                )
+            )
+        else:
+            abox.add(
+                RoleAssertion(
+                    AtomicRole(predicate_name),
+                    subject,
+                    Individual(_local(object_text)),
+                )
+            )
+    return abox

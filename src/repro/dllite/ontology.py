@@ -1,0 +1,56 @@
+"""The Ontology container: a TBox plus an (optional, possibly virtual) ABox."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .abox import ABox, Assertion
+from .axioms import Axiom
+from .tbox import Signature, TBox
+
+__all__ = ["Ontology"]
+
+
+class Ontology:
+    """A DL-Lite ontology ``O = <T, A>``.
+
+    In OBDA mode the ABox is left empty and extensional data flow from the
+    mapped sources (:class:`repro.obda.system.OBDASystem`); in classic
+    knowledge-base mode the ABox holds explicit assertions.
+    """
+
+    def __init__(
+        self,
+        tbox: Optional[TBox] = None,
+        abox: Optional[ABox] = None,
+        name: str = "ontology",
+    ):
+        self.name = name
+        self.tbox = tbox if tbox is not None else TBox(name=f"{name}-tbox")
+        self.abox = abox if abox is not None else ABox()
+
+    @property
+    def signature(self) -> Signature:
+        return self.tbox.signature
+
+    def add_axiom(self, axiom: Axiom) -> bool:
+        return self.tbox.add(axiom)
+
+    def add_axioms(self, axioms: Iterable[Axiom]) -> int:
+        return self.tbox.extend(axioms)
+
+    def add_assertion(self, assertion: Assertion) -> bool:
+        return self.abox.add(assertion)
+
+    def add_assertions(self, assertions: Iterable[Assertion]) -> int:
+        return self.abox.extend(assertions)
+
+    def copy(self, name: Optional[str] = None) -> "Ontology":
+        return Ontology(
+            tbox=self.tbox.copy(),
+            abox=self.abox.copy(),
+            name=name or self.name,
+        )
+
+    def __repr__(self) -> str:
+        return f"Ontology({self.name!r}, {len(self.tbox)} axioms, {len(self.abox)} assertions)"

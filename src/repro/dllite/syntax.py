@@ -1,0 +1,286 @@
+"""Expressions of the DL-Lite family (paper §4).
+
+The grammar implemented here is the one given in the paper for
+*DL-Lite_R extended with qualified existential restrictions*, plus the
+attribute constructs of DL-Lite_A that the paper alludes to
+("some DLs distinguish ... roles from attributes"):
+
+    B  ->  A | ∃Q | δ(U)            (basic concepts)
+    C  ->  B | ¬B | ∃Q.A            (general concepts)
+    Q  ->  P | P⁻                   (basic roles)
+    R  ->  Q | ¬Q                   (general roles)
+    V  ->  U | ¬U                   (general attributes)
+
+All expression classes are immutable, hashable value objects; two
+expressions are equal iff they are structurally identical.  ``str()``
+renders the usual DL notation (``∃worksFor⁻.Company``), ``ascii()`` -- via
+:func:`to_ascii` -- a pure-ASCII form accepted back by the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = [
+    "Expression",
+    "AtomicConcept",
+    "AtomicRole",
+    "InverseRole",
+    "ExistentialRole",
+    "QualifiedExistential",
+    "NegatedConcept",
+    "NegatedRole",
+    "AtomicAttribute",
+    "AttributeDomain",
+    "NegatedAttribute",
+    "BasicConcept",
+    "GeneralConcept",
+    "BasicRole",
+    "GeneralRole",
+    "GeneralAttribute",
+    "inverse_of",
+    "exists",
+    "negate",
+    "to_ascii",
+]
+
+
+class Expression:
+    """Common base class of every DL-Lite expression."""
+
+    __slots__ = ()
+
+    def to_ascii(self) -> str:
+        """Render this expression in the ASCII syntax of :mod:`repro.dllite.parser`."""
+        return to_ascii(self)
+
+
+# ---------------------------------------------------------------------------
+# Roles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AtomicRole(Expression):
+    """An atomic role ``P`` (an OWL object property)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def inverse(self) -> "InverseRole":
+        return InverseRole(self)
+
+
+@dataclass(frozen=True)
+class InverseRole(Expression):
+    """The inverse ``P⁻`` of an atomic role."""
+
+    role: AtomicRole
+
+    def __str__(self) -> str:
+        return f"{self.role.name}⁻"
+
+    @property
+    def name(self) -> str:
+        return self.role.name
+
+    @property
+    def inverse(self) -> AtomicRole:
+        return self.role
+
+
+BasicRole = Union[AtomicRole, InverseRole]
+
+
+@dataclass(frozen=True)
+class NegatedRole(Expression):
+    """A negated basic role ``¬Q`` — only legal on the right of an inclusion."""
+
+    role: BasicRole
+
+    def __str__(self) -> str:
+        return f"¬{self.role}"
+
+
+GeneralRole = Union[AtomicRole, InverseRole, NegatedRole]
+
+
+# ---------------------------------------------------------------------------
+# Concepts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AtomicConcept(Expression):
+    """An atomic concept ``A`` (an OWL class)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ExistentialRole(Expression):
+    """The unqualified existential ``∃Q`` (domain of ``Q``)."""
+
+    role: BasicRole
+
+    def __str__(self) -> str:
+        return f"∃{self.role}"
+
+
+@dataclass(frozen=True)
+class AttributeDomain(Expression):
+    """``δ(U)`` — the set of objects having some value for attribute ``U``."""
+
+    attribute: "AtomicAttribute"
+
+    def __str__(self) -> str:
+        return f"δ({self.attribute.name})"
+
+
+BasicConcept = Union[AtomicConcept, ExistentialRole, AttributeDomain]
+
+
+@dataclass(frozen=True)
+class QualifiedExistential(Expression):
+    """The qualified existential ``∃Q.A`` (objects with a ``Q``-filler in ``A``)."""
+
+    role: BasicRole
+    filler: AtomicConcept
+
+    def __str__(self) -> str:
+        return f"∃{self.role}.{self.filler}"
+
+
+@dataclass(frozen=True)
+class NegatedConcept(Expression):
+    """A negated basic concept ``¬B`` — only legal on the right of an inclusion."""
+
+    concept: BasicConcept
+
+    def __str__(self) -> str:
+        return f"¬{self.concept}"
+
+
+GeneralConcept = Union[
+    AtomicConcept, ExistentialRole, AttributeDomain, QualifiedExistential, NegatedConcept
+]
+
+
+# ---------------------------------------------------------------------------
+# Attributes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AtomicAttribute(Expression):
+    """An atomic attribute ``U`` (an OWL data property)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def domain(self) -> AttributeDomain:
+        return AttributeDomain(self)
+
+
+@dataclass(frozen=True)
+class NegatedAttribute(Expression):
+    """A negated attribute ``¬U`` — only legal on the right of an inclusion."""
+
+    attribute: AtomicAttribute
+
+    def __str__(self) -> str:
+        return f"¬{self.attribute}"
+
+
+GeneralAttribute = Union[AtomicAttribute, NegatedAttribute]
+
+
+# ---------------------------------------------------------------------------
+# Constructors / helpers
+# ---------------------------------------------------------------------------
+
+
+def inverse_of(role: BasicRole) -> BasicRole:
+    """Return ``Q⁻`` with double inverses collapsed: ``(P⁻)⁻ = P``."""
+    if isinstance(role, AtomicRole):
+        return InverseRole(role)
+    if isinstance(role, InverseRole):
+        return role.role
+    raise TypeError(f"not a basic role: {role!r}")
+
+
+def exists(role: BasicRole, filler: AtomicConcept = None):
+    """Build ``∃Q`` or, when *filler* is given, ``∃Q.A``."""
+    if filler is None:
+        return ExistentialRole(role)
+    return QualifiedExistential(role, filler)
+
+
+def negate(expr):
+    """Negate a basic concept, basic role or attribute (involutive)."""
+    if isinstance(expr, (AtomicConcept, ExistentialRole, AttributeDomain)):
+        return NegatedConcept(expr)
+    if isinstance(expr, NegatedConcept):
+        return expr.concept
+    if isinstance(expr, (AtomicRole, InverseRole)):
+        return NegatedRole(expr)
+    if isinstance(expr, NegatedRole):
+        return expr.role
+    if isinstance(expr, AtomicAttribute):
+        return NegatedAttribute(expr)
+    if isinstance(expr, NegatedAttribute):
+        return expr.attribute
+    raise TypeError(f"cannot negate {expr!r}")
+
+
+def to_ascii(expr: Expression) -> str:
+    """ASCII rendering accepted by :func:`repro.dllite.parser.parse_concept` et al."""
+    if isinstance(expr, AtomicConcept):
+        return expr.name
+    if isinstance(expr, AtomicRole):
+        return expr.name
+    if isinstance(expr, InverseRole):
+        return f"{expr.role.name}^-"
+    if isinstance(expr, ExistentialRole):
+        return f"exists {to_ascii(expr.role)}"
+    if isinstance(expr, QualifiedExistential):
+        return f"exists {to_ascii(expr.role)} . {expr.filler.name}"
+    if isinstance(expr, NegatedConcept):
+        return f"not {to_ascii(expr.concept)}"
+    if isinstance(expr, NegatedRole):
+        return f"not {to_ascii(expr.role)}"
+    if isinstance(expr, AtomicAttribute):
+        return expr.name
+    if isinstance(expr, AttributeDomain):
+        return f"domain({expr.attribute.name})"
+    if isinstance(expr, NegatedAttribute):
+        return f"not {expr.attribute.name}"
+    raise TypeError(f"not a DL-Lite expression: {expr!r}")
+
+
+def is_basic_concept(expr) -> bool:
+    return isinstance(expr, (AtomicConcept, ExistentialRole, AttributeDomain))
+
+
+def is_general_concept(expr) -> bool:
+    return is_basic_concept(expr) or isinstance(
+        expr, (QualifiedExistential, NegatedConcept)
+    )
+
+
+def is_basic_role(expr) -> bool:
+    return isinstance(expr, (AtomicRole, InverseRole))
+
+
+def is_general_role(expr) -> bool:
+    return is_basic_role(expr) or isinstance(expr, NegatedRole)

@@ -1,0 +1,5 @@
+"""Automated ontology documentation (paper §8)."""
+
+from .docgen import DocumentationOptions, generate_documentation
+
+__all__ = ["DocumentationOptions", "generate_documentation"]

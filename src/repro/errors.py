@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can guard a whole OBDA pipeline with a single ``except`` clause while
+still being able to distinguish the failure class when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class SyntaxError_(ReproError):
+    """A textual DL-Lite / query / SQL expression could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        self.text = text
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at position {position} in {text!r})"
+        super().__init__(message)
+
+
+class LanguageViolation(ReproError):
+    """An expression or axiom is outside the language it was offered to.
+
+    Raised e.g. when a qualified existential appears on the left-hand side
+    of a DL-Lite inclusion, or when an ALCH construct reaches a component
+    that only accepts OWL 2 QL material.
+    """
+
+
+class UnknownPredicate(ReproError):
+    """A query or mapping mentions a predicate missing from the signature."""
+
+
+class InconsistentOntology(ReproError):
+    """Certain-answer computation was attempted over an unsatisfiable KB."""
+
+
+class MappingError(ReproError):
+    """A mapping assertion is malformed or refers to a missing table/column."""
+
+
+class TimeoutExceeded(ReproError):
+    """A reasoning task exceeded its time budget (used by the Fig. 1 harness)."""
+
+    def __init__(self, budget_s: float, elapsed_s: float):
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+        super().__init__(
+            f"reasoning task exceeded its budget of {budget_s:.1f}s "
+            f"(elapsed {elapsed_s:.1f}s)"
+        )
+
+
+class DiagramError(ReproError):
+    """A diagram is structurally invalid (dangling link, bad element kind)."""

@@ -1,0 +1,5 @@
+"""Ontology evolution: syntactic and semantic diffing of TBox versions."""
+
+from .diff import TBoxDiff, diff_tboxes, render_diff
+
+__all__ = ["TBoxDiff", "diff_tboxes", "render_diff"]

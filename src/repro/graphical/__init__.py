@@ -1,0 +1,35 @@
+"""The graphical language for DL-Lite ontologies (paper §6, Figure 2)."""
+
+from .context import focus_view, relevant_context
+from .examples import figure2_diagram
+from .layout import layout
+from .model import (
+    AttributeNode,
+    ConceptNode,
+    Diagram,
+    InclusionEdge,
+    RestrictionSquare,
+    RoleNode,
+)
+from .modularize import horizontal_modules, taxonomy_depths, vertical_views
+from .svg import render_svg
+from .translate import diagram_to_tbox, tbox_to_diagram
+
+__all__ = [
+    "AttributeNode",
+    "ConceptNode",
+    "Diagram",
+    "InclusionEdge",
+    "RestrictionSquare",
+    "RoleNode",
+    "diagram_to_tbox",
+    "figure2_diagram",
+    "focus_view",
+    "horizontal_modules",
+    "layout",
+    "relevant_context",
+    "render_svg",
+    "taxonomy_depths",
+    "tbox_to_diagram",
+    "vertical_views",
+]

@@ -1,0 +1,33 @@
+"""Ready-made diagrams, including the paper's Figure 2.
+
+Figure 2 shows a qualified existential restriction in the graphical
+formalism: County and State rectangles, the ``isPartOf`` diamond, a
+white (domain) square linked to State and a black (range) square linked
+to County, with the two directed edges denoting::
+
+    County ⊑ ∃isPartOf.State
+    State  ⊑ ∃isPartOf⁻.County
+
+``isPartOf`` is deliberately not typed on County/State (the paper
+assumes it can relate other concepts too), so those are the only axioms.
+"""
+
+from __future__ import annotations
+
+from .model import Diagram
+
+__all__ = ["figure2_diagram"]
+
+
+def figure2_diagram() -> Diagram:
+    """The County/State qualified-existential diagram of Figure 2."""
+    diagram = Diagram("figure2")
+    diagram.concept("County")
+    diagram.concept("State")
+    diagram.role("isPartOf")
+    domain = diagram.domain_square("isPartOf", filler="State")
+    range_ = diagram.range_square("isPartOf", filler="County")
+    diagram.include("County", domain.id)
+    diagram.include("State", range_.id)
+    diagram.validate()
+    return diagram

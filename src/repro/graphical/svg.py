@@ -1,0 +1,133 @@
+"""SVG rendering of diagrams — no dependencies, just shapes and markers.
+
+The visual vocabulary follows §6: rectangles (concepts), diamonds
+(roles), circles (attributes), white/black squares (domain/range
+restrictions) linked by dotted edges, and solid directed edges for
+inclusions (a red slash marks negated ones).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, Optional, Tuple
+
+from .layout import NODE_HEIGHT, NODE_WIDTH, layout
+from .model import (
+    AttributeNode,
+    ConceptNode,
+    Diagram,
+    RestrictionSquare,
+    RoleNode,
+)
+
+__all__ = ["render_svg"]
+
+_SQUARE = 18
+_FONT = "font-family='Helvetica, Arial, sans-serif' font-size='13'"
+
+
+def _shape(element, x: float, y: float) -> str:
+    if isinstance(element, ConceptNode):
+        return (
+            f"<rect x='{x - NODE_WIDTH / 2:.0f}' y='{y - NODE_HEIGHT / 2:.0f}' "
+            f"width='{NODE_WIDTH}' height='{NODE_HEIGHT}' rx='3' "
+            f"fill='#f5f5f0' stroke='#333'/>"
+            f"<text x='{x:.0f}' y='{y + 5:.0f}' text-anchor='middle' {_FONT}>"
+            f"{html.escape(element.label)}</text>"
+        )
+    if isinstance(element, RoleNode):
+        w, h = NODE_WIDTH / 2, NODE_HEIGHT / 2 + 8
+        points = f"{x},{y - h} {x + w},{y} {x},{y + h} {x - w},{y}"
+        return (
+            f"<polygon points='{points}' fill='#eef3fa' stroke='#333'/>"
+            f"<text x='{x:.0f}' y='{y + 5:.0f}' text-anchor='middle' {_FONT}>"
+            f"{html.escape(element.label)}</text>"
+        )
+    if isinstance(element, AttributeNode):
+        return (
+            f"<circle cx='{x:.0f}' cy='{y:.0f}' r='{NODE_HEIGHT / 2 + 6:.0f}' "
+            f"fill='#faf0ee' stroke='#333'/>"
+            f"<text x='{x:.0f}' y='{y + 5:.0f}' text-anchor='middle' {_FONT}>"
+            f"{html.escape(element.label)}</text>"
+        )
+    if isinstance(element, RestrictionSquare):
+        fill = "#333" if element.inverse else "#fff"
+        shape = (
+            f"<rect x='{x - _SQUARE / 2:.0f}' y='{y - _SQUARE / 2:.0f}' "
+            f"width='{_SQUARE}' height='{_SQUARE}' fill='{fill}' stroke='#333'/>"
+        )
+        if element.max_cardinality is not None:
+            shape += (
+                f"<text x='{x + _SQUARE:.0f}' y='{y - _SQUARE / 2:.0f}' "
+                f"{_FONT} font-size='10'>&#8804;{element.max_cardinality}</text>"
+            )
+        return shape
+    raise TypeError(f"not a diagram element: {element!r}")
+
+
+def render_svg(
+    diagram: Diagram,
+    positions: Optional[Dict[str, Tuple[float, float]]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render *diagram* to an SVG document string."""
+    diagram.validate()
+    if positions is None:
+        positions = layout(diagram)
+    width = max((x for x, _ in positions.values()), default=200) + NODE_WIDTH
+    height = max((y for _, y in positions.values()), default=100) + NODE_HEIGHT * 2
+
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width:.0f}' "
+        f"height='{height:.0f}' viewBox='0 0 {width:.0f} {height:.0f}'>",
+        "<defs><marker id='arrow' viewBox='0 0 10 10' refX='10' refY='5' "
+        "markerWidth='8' markerHeight='8' orient='auto-start-reverse'>"
+        "<path d='M 0 0 L 10 5 L 0 10 z' fill='#333'/></marker></defs>",
+    ]
+    if title:
+        parts.append(
+            f"<text x='12' y='20' {_FONT} font-weight='bold'>"
+            f"{html.escape(title)}</text>"
+        )
+
+    # Dotted (non-directed) square links go underneath.
+    for source, target in diagram.dotted_links():
+        x1, y1 = positions[source]
+        x2, y2 = positions[target]
+        parts.append(
+            f"<line x1='{x1:.0f}' y1='{y1:.0f}' x2='{x2:.0f}' y2='{y2:.0f}' "
+            f"stroke='#777' stroke-dasharray='4 3'/>"
+        )
+
+    # Directed inclusion edges.
+    for edge in diagram.edges:
+        x1, y1 = positions[edge.source]
+        x2, y2 = positions[edge.target]
+        parts.append(
+            f"<line x1='{x1:.0f}' y1='{y1:.0f}' x2='{x2:.0f}' y2='{y2:.0f}' "
+            f"stroke='#333' marker-end='url(#arrow)'/>"
+        )
+        if edge.negated:
+            mx, my = (x1 + x2) / 2, (y1 + y2) / 2
+            parts.append(
+                f"<line x1='{mx - 7:.0f}' y1='{my + 7:.0f}' x2='{mx + 7:.0f}' "
+                f"y2='{my - 7:.0f}' stroke='#c0392b' stroke-width='2'/>"
+            )
+        inverse_marks = []
+        if edge.source_inverse:
+            inverse_marks.append((x1 + (x2 - x1) * 0.2, y1 + (y2 - y1) * 0.2))
+        if edge.target_inverse:
+            inverse_marks.append((x1 + (x2 - x1) * 0.8, y1 + (y2 - y1) * 0.8))
+        for mx, my in inverse_marks:
+            parts.append(
+                f"<text x='{mx:.0f}' y='{my - 4:.0f}' text-anchor='middle' "
+                f"{_FONT}>&#8315;</text>"
+            )
+
+    # Shapes on top.
+    for element_id, element in diagram.elements.items():
+        x, y = positions[element_id]
+        parts.append(_shape(element, x, y))
+
+    parts.append("</svg>")
+    return "\n".join(parts)

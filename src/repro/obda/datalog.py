@@ -1,0 +1,196 @@
+"""A semi-naive datalog engine (positive, recursion-capable).
+
+The Presto-style rewriter emits flat single-atom rules, but nothing in
+the OBDA stack should depend on that: this module evaluates arbitrary
+positive datalog programs bottom-up with semi-naive iteration, over any
+:class:`~repro.obda.evaluation.ExtentProvider` supplying the extensional
+(source) predicates.  It backs :class:`ProgramExtents`, a drop-in
+provider for IDB predicates, and is independently useful (e.g. for
+transitive part-of queries over a mapped source).
+
+Restrictions: no negation, no built-ins; every head variable must occur
+in the body (safety), checked at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import UnknownPredicate
+from .evaluation import ExtentProvider
+from .queries import Atom, Constant, Variable
+
+__all__ = ["Rule", "Program", "ProgramExtents", "evaluate_program"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``, positive atoms only, safe."""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self):
+        if not self.body:
+            raise UnknownPredicate(f"rule for {self.head} has an empty body")
+        body_vars = set()
+        for atom in self.body:
+            body_vars |= atom.variables()
+        unsafe = [v for v in self.head.variables() if v not in body_vars]
+        if unsafe:
+            raise UnknownPredicate(
+                f"unsafe rule: head variables {[str(v) for v in unsafe]} "
+                f"missing from the body of {self}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {', '.join(map(str, self.body))}"
+
+
+class Program:
+    """A positive datalog program: rules indexed by head predicate."""
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self.rules: List[Rule] = []
+        self.by_head: Dict[str, List[Rule]] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> None:
+        self.rules.append(rule)
+        self.by_head.setdefault(rule.head.predicate, []).append(rule)
+
+    def idb_predicates(self) -> Set[str]:
+        return set(self.by_head)
+
+    def edb_predicates(self) -> Set[str]:
+        predicates: Set[str] = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                if atom.predicate not in self.by_head:
+                    predicates.add(atom.predicate)
+        return predicates
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+def _join_rule(
+    rule: Rule,
+    extent_of,
+    delta: Optional[Dict[str, Set[Tuple]]] = None,
+) -> Set[Tuple]:
+    """All head tuples derivable by *rule*.
+
+    With *delta*, implements the semi-naive trick: the result is the
+    union over body positions of joins where that position reads from
+    the delta relation and earlier positions read from the full relation
+    (later positions read full too — the standard formulation).
+    """
+    results: Set[Tuple] = set()
+    positions = range(len(rule.body)) if delta is not None else [None]
+    for delta_position in positions:
+        if delta_position is not None:
+            atom = rule.body[delta_position]
+            if not delta.get(atom.predicate):
+                continue
+
+        def rows_for(index: int, atom: Atom) -> Set[Tuple]:
+            if delta is not None and index == delta_position:
+                return delta.get(atom.predicate, set())
+            return extent_of(atom.predicate, atom.arity)
+
+        def bind(index: int, binding: Dict[Variable, object]) -> None:
+            if index == len(rule.body):
+                results.add(
+                    tuple(
+                        binding[term] if isinstance(term, Variable) else term.value
+                        for term in rule.head.args
+                    )
+                )
+                return
+            atom = rule.body[index]
+            for row in rows_for(index, atom):
+                local = binding
+                copied = False
+                ok = True
+                for term, value in zip(atom.args, row):
+                    if isinstance(term, Constant):
+                        if term.value != value and str(term.value) != str(value):
+                            ok = False
+                            break
+                    else:
+                        bound = local.get(term)
+                        if bound is None:
+                            if not copied:
+                                local = dict(local)
+                                copied = True
+                            local[term] = value
+                        elif bound != value:
+                            ok = False
+                            break
+                if ok:
+                    bind(index + 1, local)
+
+        bind(0, {})
+    return results
+
+
+def evaluate_program(
+    program: Program, edb: ExtentProvider
+) -> Dict[str, Set[Tuple]]:
+    """Least fixpoint of *program* over *edb*; returns IDB extents."""
+    idb: Dict[str, Set[Tuple]] = {name: set() for name in program.idb_predicates()}
+
+    def extent_of(predicate: str, arity: int) -> Set[Tuple]:
+        if predicate in idb:
+            return idb[predicate]
+        return edb.extent(predicate, arity)
+
+    # First round: naive evaluation seeds the deltas.
+    delta: Dict[str, Set[Tuple]] = {name: set() for name in idb}
+    for rule in program:
+        derived = _join_rule(rule, extent_of)
+        fresh = derived - idb[rule.head.predicate]
+        idb[rule.head.predicate] |= fresh
+        delta[rule.head.predicate] |= fresh
+
+    # Semi-naive iteration until no rule derives anything new.
+    while any(delta.values()):
+        next_delta: Dict[str, Set[Tuple]] = {name: set() for name in idb}
+        for rule in program:
+            if not any(
+                atom.predicate in delta and delta[atom.predicate]
+                for atom in rule.body
+            ):
+                continue
+            derived = _join_rule(rule, extent_of, delta)
+            fresh = derived - idb[rule.head.predicate]
+            idb[rule.head.predicate] |= fresh
+            next_delta[rule.head.predicate] |= fresh
+        delta = next_delta
+    return idb
+
+
+class ProgramExtents(ExtentProvider):
+    """Expose a program's IDB predicates (lazily evaluated, then cached)
+    on top of a base provider; EDB predicates fall through."""
+
+    def __init__(self, program: Program, base: ExtentProvider):
+        self.program = program
+        self.base = base
+        self._idb: Optional[Dict[str, Set[Tuple]]] = None
+
+    def extent(self, predicate: str, arity: int) -> Set[Tuple]:
+        if predicate not in self.program.by_head:
+            return self.base.extent(predicate, arity)
+        if self._idb is None:
+            self._idb = evaluate_program(self.program, self.base)
+        return self._idb.get(predicate, set())

@@ -1,0 +1,225 @@
+"""Query evaluation over extents (ABox or mapped virtual ABox).
+
+A UCQ produced by a rewriter is evaluated against *extent providers*:
+
+* :class:`ABoxExtents` — classic knowledge-base mode;
+* :class:`MappingExtents` — OBDA mode, pulling each predicate's extent
+  through the mappings from the relational sources (cached per query);
+* :class:`DatalogExtents` — wraps another provider with the auxiliary
+  predicates of a Presto :class:`~repro.obda.rewriting.presto.DatalogRewriting`.
+
+Conjunctive queries are evaluated by a backtracking join that orders
+atoms greedily by current extent size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..dllite.abox import ABox
+from ..dllite.syntax import AtomicAttribute, AtomicConcept, AtomicRole
+from .mapping import MappingCollection
+from .queries import Atom, Constant, ConjunctiveQuery, UnionQuery, Variable
+from .sql.database import Database
+
+__all__ = [
+    "ExtentProvider",
+    "ABoxExtents",
+    "MappingExtents",
+    "DatalogExtents",
+    "evaluate_cq",
+    "evaluate_ucq",
+]
+
+
+class ExtentProvider:
+    """Maps predicate names to their extents (sets of 1- or 2-tuples)."""
+
+    def extent(self, predicate: str, arity: int) -> Set[Tuple]:
+        raise NotImplementedError
+
+
+class ABoxExtents(ExtentProvider):
+    """Extents drawn from an explicit ABox."""
+
+    def __init__(self, abox: ABox):
+        self.abox = abox
+
+    def extent(self, predicate: str, arity: int) -> Set[Tuple]:
+        if arity == 1:
+            return {
+                (individual,)
+                for individual in self.abox.concept_instances(AtomicConcept(predicate))
+            }
+        pairs: Set[Tuple] = set(self.abox.role_pairs(AtomicRole(predicate)))
+        pairs |= self.abox.attribute_pairs(AtomicAttribute(predicate))
+        return pairs
+
+
+class MappingExtents(ExtentProvider):
+    """Extents unfolded through the mappings from the source database."""
+
+    def __init__(self, mappings: MappingCollection, database: Database):
+        self.mappings = mappings
+        self.database = database
+        self._cache: Dict[str, Set[Tuple]] = {}
+
+    def extent(self, predicate: str, arity: int) -> Set[Tuple]:
+        cached = self._cache.get(predicate)
+        if cached is None:
+            cached = self.mappings.predicate_extent(self.database, predicate)
+            self._cache[predicate] = cached
+        return cached
+
+
+class DatalogExtents(ExtentProvider):
+    """Auxiliary predicates of a datalog rewriting over a base provider.
+
+    All rules are flat (single base atom bodies over ``x``/``y``), so an
+    auxiliary extent is a union of base extents with optional argument
+    swapping and projection.
+    """
+
+    def __init__(self, rewriting, base: ExtentProvider):
+        self.rewriting = rewriting
+        self.base = base
+        self._cache: Dict[str, Set[Tuple]] = {}
+
+    def extent(self, predicate: str, arity: int) -> Set[Tuple]:
+        rules = self.rewriting.rules_by_head.get(predicate)
+        if rules is None:
+            return self.base.extent(predicate, arity)
+        cached = self._cache.get(predicate)
+        if cached is not None:
+            return cached
+        result: Set[Tuple] = set()
+        for rule in rules:
+            body_atom = rule.body[0]
+            base_rows = self.base.extent(body_atom.predicate, body_atom.arity)
+            head_args = rule.head.args
+            body_args = body_atom.args
+            position = {
+                term: index
+                for index, term in enumerate(body_args)
+                if isinstance(term, Variable)
+            }
+            indices = [position[arg] for arg in head_args if arg in position]
+            if len(indices) != len(head_args):
+                continue  # head variable not bound by the body — vacuous rule
+            for row in base_rows:
+                result.add(tuple(row[i] for i in indices))
+        self._cache[predicate] = result
+        return result
+
+
+def evaluate_cq(cq: ConjunctiveQuery, extents: ExtentProvider) -> Set[Tuple]:
+    """All answer tuples of *cq* over *extents* (set semantics).
+
+    Atoms are ordered greedily (smallest extent first, connected atoms
+    preferred); each later atom is then probed through a hash index built
+    on the positions its earlier neighbours bind, so joins cost
+    output-size instead of cross-product.
+    """
+    atom_rows = [
+        (atom, extents.extent(atom.predicate, atom.arity)) for atom in cq.atoms
+    ]
+    ordered: List[Tuple[Atom, Set[Tuple]]] = []
+    remaining = list(atom_rows)
+    bound_vars: Set[Variable] = set()
+    while remaining:
+        def rank(item):
+            atom, rows = item
+            connected = bool(atom.variables() & bound_vars) if bound_vars else True
+            return (not connected, len(rows))
+
+        best = min(remaining, key=rank)
+        remaining.remove(best)
+        ordered.append(best)
+        bound_vars |= best[0].variables()
+
+    # For each atom: which argument positions are keys (constant, repeated
+    # variable, or variable bound by an earlier atom) — fixed per ordering.
+    plans = []
+    seen_vars: Set[Variable] = set()
+    for atom, rows in ordered:
+        key_positions: List[int] = []
+        key_terms: List = []
+        local_seen: Set[Variable] = set()
+        for position, term in enumerate(atom.args):
+            if isinstance(term, Constant):
+                key_positions.append(position)
+                key_terms.append(term)
+            elif term in seen_vars:
+                key_positions.append(position)
+                key_terms.append(term)
+            else:
+                # first (or repeated within-atom) occurrence of a fresh
+                # variable: bound by this atom itself; within-atom repeats
+                # are enforced by the binding check in the join loop.
+                local_seen.add(term)
+        # index rows by the key positions (constants resolved by string
+        # fallback at probe time, so index on raw values here)
+        index: Dict[Tuple, List[Tuple]] = {}
+        for row in rows:
+            index.setdefault(tuple(row[i] for i in key_positions), []).append(row)
+        plans.append((atom, tuple(key_positions), tuple(key_terms), index))
+        seen_vars |= atom.variables()
+
+    answers: Set[Tuple] = set()
+
+    def probe_key(key_terms, binding) -> Optional[Tuple]:
+        key = []
+        for term in key_terms:
+            if isinstance(term, Constant):
+                key.append(term.value)
+            else:
+                key.append(binding[term])
+        return tuple(key)
+
+    def join(depth: int, binding: Dict[Variable, object]) -> None:
+        if depth == len(plans):
+            answers.add(tuple(binding[v] for v in cq.answer_vars))
+            return
+        atom, key_positions, key_terms, index = plans[depth]
+        key = probe_key(key_terms, binding)
+        candidates = index.get(key, ())
+        if not candidates and any(isinstance(t, Constant) for t in key_terms):
+            # string-coercion fallback for constants (IRI/value mismatch)
+            candidates = [
+                row
+                for rows in index.values()
+                for row in rows
+                if all(
+                    row[i] == (binding[t] if isinstance(t, Variable) else t.value)
+                    or (
+                        isinstance(t, Constant)
+                        and str(row[i]) == str(t.value)
+                    )
+                    for i, t in zip(key_positions, key_terms)
+                )
+            ]
+        for row in candidates:
+            local = dict(binding)
+            ok = True
+            for position, (term, value) in enumerate(zip(atom.args, row)):
+                if isinstance(term, Constant):
+                    continue  # checked by the key
+                bound = local.get(term)
+                if bound is None:
+                    local[term] = value
+                elif bound != value:
+                    ok = False
+                    break
+            if ok:
+                join(depth + 1, local)
+
+    join(0, {})
+    return answers
+
+
+def evaluate_ucq(ucq: UnionQuery, extents: ExtentProvider) -> Set[Tuple]:
+    """Certain-answer union over all disjuncts."""
+    answers: Set[Tuple] = set()
+    for disjunct in ucq:
+        answers |= evaluate_cq(disjunct, extents)
+    return answers

@@ -1,0 +1,218 @@
+"""The OBDA mapping layer (paper §1: "an intermediate mapping layer
+between the global schema and the data sources").
+
+Mappings are GAV-style assertions ``source SQL query ⤳ target atoms``:
+each row produced by the source query instantiates every target atom,
+with IRI templates (``"person/{id}"``) building ontology individuals out
+of source keys, and plain value columns feeding attribute values.
+
+Example::
+
+    m1: SELECT pid, dept FROM employees WHERE role = 'prof'
+        ⤳ Professor(person/{pid}), worksFor(person/{pid}, dept/{dept})
+
+Unfolding is exposed at two granularities:
+
+* :meth:`MappingCollection.materialize` — the full virtual ABox;
+* :meth:`MappingCollection.predicate_extent` — the extent of one
+  predicate, which is what the query-evaluation join pipeline pulls.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..dllite.abox import (
+    ABox,
+    AttributeAssertion,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+)
+from ..dllite.syntax import AtomicAttribute, AtomicConcept, AtomicRole
+from ..errors import MappingError
+from .sql.algebra import Expression, ResultSet, evaluate
+from .sql.database import Database
+from .sql.sqlparser import parse_sql
+
+__all__ = [
+    "IriTemplate",
+    "ValueColumn",
+    "TargetAtom",
+    "MappingAssertion",
+    "MappingCollection",
+]
+
+_PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+@dataclass(frozen=True)
+class IriTemplate:
+    """An individual-building template, e.g. ``person/{pid}``."""
+
+    pattern: str
+
+    @property
+    def placeholders(self) -> Tuple[str, ...]:
+        return tuple(_PLACEHOLDER_RE.findall(self.pattern))
+
+    def apply(self, env: Dict[str, object]) -> Individual:
+        def replace(match) -> str:
+            column = match.group(1)
+            if column not in env:
+                raise MappingError(
+                    f"template {self.pattern!r} needs column {column!r}, "
+                    f"source query produced {sorted(env)}"
+                )
+            return str(env[column])
+
+        return Individual(_PLACEHOLDER_RE.sub(replace, self.pattern))
+
+    def __str__(self) -> str:
+        return self.pattern
+
+
+@dataclass(frozen=True)
+class ValueColumn:
+    """A raw source column used as an attribute value."""
+
+    column: str
+
+    def apply(self, env: Dict[str, object]):
+        if self.column not in env:
+            raise MappingError(
+                f"value column {self.column!r} missing from source output "
+                f"{sorted(env)}"
+            )
+        return env[self.column]
+
+    def __str__(self) -> str:
+        return f"{{{self.column}}}"
+
+
+TargetTerm = Union[IriTemplate, ValueColumn]
+
+
+@dataclass(frozen=True)
+class TargetAtom:
+    """One atom of a mapping head: predicate plus template terms."""
+
+    predicate: Union[AtomicConcept, AtomicRole, AtomicAttribute]
+    terms: Tuple[TargetTerm, ...]
+
+    def __post_init__(self):
+        expected = 1 if isinstance(self.predicate, AtomicConcept) else 2
+        if len(self.terms) != expected:
+            raise MappingError(
+                f"target atom {self.predicate} expects {expected} term(s), "
+                f"got {len(self.terms)}"
+            )
+        if isinstance(self.predicate, (AtomicConcept, AtomicRole)):
+            for term in self.terms:
+                if isinstance(term, ValueColumn):
+                    raise MappingError(
+                        f"{self.predicate} positions must be IRI templates, "
+                        f"not raw columns"
+                    )
+        if isinstance(self.predicate, AtomicAttribute) and not isinstance(
+            self.terms[0], IriTemplate
+        ):
+            raise MappingError("an attribute subject must be an IRI template")
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(map(str, self.terms))})"
+
+
+class MappingAssertion:
+    """``source query ⤳ target atoms`` (the source may be SQL text or algebra)."""
+
+    def __init__(
+        self,
+        source: Union[str, Expression],
+        targets: Sequence[TargetAtom],
+        identifier: str = "",
+    ):
+        self.identifier = identifier
+        self.source_text = source if isinstance(source, str) else None
+        self.source: Expression = parse_sql(source) if isinstance(source, str) else source
+        self.targets: Tuple[TargetAtom, ...] = tuple(targets)
+        if not self.targets:
+            raise MappingError("a mapping assertion needs at least one target atom")
+
+    def evaluate_source(self, database: Database) -> ResultSet:
+        return evaluate(self.source, database)
+
+    def __repr__(self) -> str:
+        label = self.identifier or "mapping"
+        return f"<{label}: {len(self.targets)} targets>"
+
+
+class MappingCollection:
+    """All mapping assertions of one OBDA specification."""
+
+    def __init__(self, assertions: Iterable[MappingAssertion] = ()):
+        self.assertions: List[MappingAssertion] = []
+        self._by_predicate: Dict[str, List[Tuple[MappingAssertion, TargetAtom]]] = {}
+        for assertion in assertions:
+            self.add(assertion)
+
+    def add(self, assertion: MappingAssertion) -> None:
+        self.assertions.append(assertion)
+        for target in assertion.targets:
+            self._by_predicate.setdefault(target.predicate.name, []).append(
+                (assertion, target)
+            )
+
+    def __len__(self) -> int:
+        return len(self.assertions)
+
+    def __iter__(self):
+        return iter(self.assertions)
+
+    def mapped_predicates(self) -> Set[str]:
+        return set(self._by_predicate)
+
+    # -- unfolding ---------------------------------------------------------------
+
+    def predicate_extent(self, database: Database, predicate_name: str) -> Set[Tuple]:
+        """The virtual extent of one ontology predicate over *database*.
+
+        Concepts yield 1-tuples of :class:`Individual`; roles yield
+        ``(Individual, Individual)`` pairs; attributes
+        ``(Individual, value)`` pairs.  An unmapped predicate has an empty
+        extent (standard OBDA semantics), not an error.
+        """
+        extent: Set[Tuple] = set()
+        for assertion, target in self._by_predicate.get(predicate_name, ()):
+            result = assertion.evaluate_source(database)
+            for row in result.rows:
+                env = dict(zip(result.columns, row))
+                # also allow unqualified names when the source used aliases
+                for column, value in list(env.items()):
+                    bare = column.rsplit(".", 1)[-1]
+                    env.setdefault(bare, value)
+                extent.add(tuple(term.apply(env) for term in target.terms))
+        return extent
+
+    def materialize(self, database: Database) -> ABox:
+        """Build the full virtual ABox (used by the Presto evaluation mode)."""
+        abox = ABox()
+        for assertion in self.assertions:
+            result = assertion.evaluate_source(database)
+            for row in result.rows:
+                env = dict(zip(result.columns, row))
+                for column, value in list(env.items()):
+                    env.setdefault(column.rsplit(".", 1)[-1], value)
+                for target in assertion.targets:
+                    values = tuple(term.apply(env) for term in target.terms)
+                    if isinstance(target.predicate, AtomicConcept):
+                        abox.add(ConceptAssertion(target.predicate, values[0]))
+                    elif isinstance(target.predicate, AtomicRole):
+                        abox.add(RoleAssertion(target.predicate, values[0], values[1]))
+                    else:
+                        abox.add(
+                            AttributeAssertion(target.predicate, values[0], values[1])
+                        )
+        return abox

@@ -1,0 +1,16 @@
+"""Query rewriting: PerfectRef, the Presto-style datalog rewriter, unfolding."""
+
+from .perfectref import RewritingTooLarge, perfect_ref
+from .presto import DatalogRewriting, DatalogRule, presto_rewrite
+from .unfolding import UnfoldedQuery, certain_answers_via_sql, unfold
+
+__all__ = [
+    "DatalogRewriting",
+    "DatalogRule",
+    "RewritingTooLarge",
+    "UnfoldedQuery",
+    "certain_answers_via_sql",
+    "perfect_ref",
+    "presto_rewrite",
+    "unfold",
+]

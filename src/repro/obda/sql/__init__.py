@@ -1,0 +1,37 @@
+"""The in-memory relational engine simulating the OBDA source layer."""
+
+from .algebra import (
+    Condition,
+    Const,
+    Expression,
+    Join,
+    Projection,
+    Rename,
+    ResultSet,
+    Scan,
+    Selection,
+    UnionAll,
+    evaluate,
+)
+from .database import Database
+from .render import algebra_to_sql
+from .sqlparser import parse_sql
+from .table import Table
+
+__all__ = [
+    "Condition",
+    "Const",
+    "Database",
+    "Expression",
+    "Join",
+    "Projection",
+    "Rename",
+    "ResultSet",
+    "Scan",
+    "Selection",
+    "Table",
+    "UnionAll",
+    "algebra_to_sql",
+    "evaluate",
+    "parse_sql",
+]

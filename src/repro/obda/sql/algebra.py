@@ -1,0 +1,244 @@
+"""Relational algebra: expression tree plus a straightforward evaluator.
+
+Mapping source queries and unfolded ontology queries both compile to this
+algebra; the evaluator produces a :class:`ResultSet` (named columns +
+tuples).  Supported operators: scan, selection (conjunctions of
+column=column / column=constant / column!=...), projection with optional
+renaming, natural-free equi-join, and union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ...errors import MappingError
+from .database import Database
+
+__all__ = [
+    "ResultSet",
+    "Expression",
+    "Scan",
+    "Selection",
+    "Projection",
+    "Join",
+    "UnionAll",
+    "Condition",
+    "evaluate",
+]
+
+
+class ResultSet:
+    """Evaluation output: column names plus a list of rows (duplicate-free
+    only after an explicit projection with ``distinct=True``)."""
+
+    def __init__(self, columns: Sequence[str], rows: List[Tuple]):
+        self.columns = tuple(columns)
+        self.rows = rows
+        self._position = {column: i for i, column in enumerate(self.columns)}
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self._position[column]
+        except KeyError:
+            raise MappingError(
+                f"no column {column!r} in result (columns: {self.columns})"
+            ) from None
+
+    def distinct(self) -> "ResultSet":
+        seen = set()
+        rows = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return ResultSet(self.columns, rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"ResultSet({list(self.columns)}, {len(self.rows)} rows)"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``left OP right`` where each side is a column name or a constant.
+
+    Columns are written as plain strings; constants are wrapped in
+    :class:`Const` to distinguish ``price = "cost"`` (column) from
+    ``price = Const("cost")`` (string literal).
+    """
+
+    left: object
+    right: object
+    operator: str = "="  # "=" or "!="
+
+
+@dataclass(frozen=True)
+class Const:
+    value: object
+
+
+class Expression:
+    """Base class of algebra nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Scan(Expression):
+    """Read a base table, optionally renaming it (self-join support)."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class Selection(Expression):
+    source: Expression
+    conditions: Tuple[Condition, ...]
+
+
+@dataclass(frozen=True)
+class Projection(Expression):
+    source: Expression
+    columns: Tuple[str, ...]
+    #: optional output names, aligned with ``columns``
+    names: Optional[Tuple[str, ...]] = None
+    distinct: bool = True
+
+
+@dataclass(frozen=True)
+class Join(Expression):
+    """Equi-join: rows of ``left`` × ``right`` where all ``on`` pairs match."""
+
+    left: Expression
+    right: Expression
+    on: Tuple[Tuple[str, str], ...]  # (left column, right column)
+
+
+@dataclass(frozen=True)
+class UnionAll(Expression):
+    parts: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class Rename(Expression):
+    """Prefix every output column with ``prefix.`` (subquery aliasing)."""
+
+    source: Expression
+    prefix: str
+
+
+def evaluate(expression: Expression, database: Database) -> ResultSet:
+    """Evaluate an algebra expression against *database*."""
+    if isinstance(expression, Scan):
+        table = database.table(expression.table)
+        prefix = expression.label
+        columns = [f"{prefix}.{column}" for column in table.columns]
+        return ResultSet(columns, list(table.rows))
+    if isinstance(expression, Selection):
+        source = evaluate(expression.source, database)
+        predicate = _compile_conditions(expression.conditions, source)
+        return ResultSet(source.columns, [row for row in source.rows if predicate(row)])
+    if isinstance(expression, Projection):
+        source = evaluate(expression.source, database)
+        indices = [_resolve(source, column) for column in expression.columns]
+        names = expression.names or tuple(
+            _strip(source.columns[i]) for i in indices
+        )
+        rows = [tuple(row[i] for i in indices) for row in source.rows]
+        result = ResultSet(names, rows)
+        return result.distinct() if expression.distinct else result
+    if isinstance(expression, Join):
+        left = evaluate(expression.left, database)
+        right = evaluate(expression.right, database)
+        left_keys = [_resolve(left, l) for l, _ in expression.on]
+        right_keys = [_resolve(right, r) for _, r in expression.on]
+        index: Dict[Tuple, List[Tuple]] = {}
+        for row in right.rows:
+            index.setdefault(tuple(row[i] for i in right_keys), []).append(row)
+        columns = list(left.columns) + list(right.columns)
+        rows = []
+        for row in left.rows:
+            key = tuple(row[i] for i in left_keys)
+            for match in index.get(key, ()):
+                rows.append(row + match)
+        return ResultSet(columns, rows)
+    if isinstance(expression, Rename):
+        source = evaluate(expression.source, database)
+        columns = [
+            f"{expression.prefix}.{_strip(column)}" for column in source.columns
+        ]
+        return ResultSet(columns, source.rows)
+    if isinstance(expression, UnionAll):
+        parts = [evaluate(part, database) for part in expression.parts]
+        width = len(parts[0].columns)
+        for part in parts[1:]:
+            if len(part.columns) != width:
+                raise MappingError("UNION branches have different arities")
+        rows = [row for part in parts for row in part.rows]
+        return ResultSet(parts[0].columns, rows)
+    raise TypeError(f"not an algebra expression: {expression!r}")
+
+
+def _strip(column: str) -> str:
+    return column.rsplit(".", 1)[-1]
+
+
+def _resolve(result: ResultSet, column: str) -> int:
+    """Resolve a possibly-unqualified column name against a result set."""
+    if column in result._position:
+        return result._position[column]
+    matches = [
+        index
+        for index, name in enumerate(result.columns)
+        if _strip(name) == column
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise MappingError(f"no column {column!r} in {result.columns}")
+    raise MappingError(f"ambiguous column {column!r} in {result.columns}")
+
+
+def _compile_conditions(conditions: Sequence[Condition], source: ResultSet):
+    compiled = []
+    for condition in conditions:
+        left_const = isinstance(condition.left, Const)
+        right_const = isinstance(condition.right, Const)
+        left = condition.left.value if left_const else _resolve(source, condition.left)
+        right = (
+            condition.right.value if right_const else _resolve(source, condition.right)
+        )
+        compiled.append((left_const, left, right_const, right, condition.operator))
+
+    def equal(left_value, right_value) -> bool:
+        # Values flowing back from IRI templates are strings, while the
+        # stored cell may be numeric; compare with a string fallback so
+        # `person/{id}` round-trips against integer keys.
+        return left_value == right_value or str(left_value) == str(right_value)
+
+    def predicate(row) -> bool:
+        for left_const, left, right_const, right, operator in compiled:
+            left_value = left if left_const else row[left]
+            right_value = right if right_const else row[right]
+            if operator == "=":
+                if not equal(left_value, right_value):
+                    return False
+            elif operator == "!=":
+                if equal(left_value, right_value):
+                    return False
+            else:
+                raise MappingError(f"unsupported operator {operator!r}")
+        return True
+
+    return predicate

@@ -1,0 +1,63 @@
+"""The database: a named collection of tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ...errors import MappingError
+from .table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A collection of :class:`Table` objects addressed by name.
+
+    >>> db = Database("campus")
+    >>> _ = db.create_table("person", ["id", "name"])
+    >>> db["person"].insert((1, "ada"))
+    >>> len(db["person"])
+    1
+    """
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self, name: str, columns: Sequence[str], rows: Iterable[Sequence] = ()
+    ) -> Table:
+        if name in self._tables:
+            raise MappingError(f"table {name!r} already exists in database {self.name!r}")
+        table = Table(name, columns, rows)
+        self._tables[name] = table
+        return table
+
+    def add_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise MappingError(
+                f"table {table.name!r} already exists in database {self.name!r}"
+            )
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise MappingError(
+                f"database {self.name!r} has no table {name!r} "
+                f"(tables: {', '.join(sorted(self._tables)) or 'none'})"
+            ) from None
+
+    def __getitem__(self, name: str) -> Table:
+        return self.table(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, {len(self._tables)} tables)"

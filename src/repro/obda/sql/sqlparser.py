@@ -1,0 +1,224 @@
+"""A tiny SQL SELECT dialect for mapping source queries.
+
+Grammar (case-insensitive keywords)::
+
+    query   := select ("UNION" select)*
+    select  := "SELECT" cols "FROM" source ("," source | "JOIN" source "ON" eqs)*
+               ["WHERE" conditions]
+    cols    := "*" | col ("," col)*          with optional "AS name"
+    source  := tablename [["AS"] alias]
+    eqs     := col "=" col ("AND" col "=" col)*
+    conditions := cond ("AND" cond)*
+    cond    := col ("=" | "!=" | "<>") (col | literal)
+    literal := 'string' | number
+
+Columns may be qualified (``t.col``) or bare.  The parser compiles
+directly to the :mod:`repro.obda.sql.algebra` tree; comma-joins become
+cross joins whose equalities live in the WHERE clause.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ...errors import SyntaxError_
+from .algebra import (
+    Condition,
+    Const,
+    Expression,
+    Join,
+    Projection,
+    Scan,
+    Selection,
+    UnionAll,
+)
+
+__all__ = ["parse_sql"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<neq><>|!=)
+  | (?P<eq>=)
+  | (?P<comma>,)
+  | (?P<star>\*)
+  | (?P<dot>\.)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "distinct", "from", "where", "join", "on", "and", "as", "union", "all"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SyntaxError_("unexpected character in SQL", text, position)
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "name" and value.lower() in _KEYWORDS:
+            kind = value.lower()
+        if kind != "ws":
+            tokens.append((kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _SqlParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Optional[Tuple[str, str, int]]:
+        position = self.index + offset
+        return self.tokens[position] if position < len(self.tokens) else None
+
+    def next(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise SyntaxError_("unexpected end of SQL", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Tuple[str, str, int]:
+        token = self.next()
+        if token[0] != kind:
+            raise SyntaxError_(
+                f"expected {kind!r}, found {token[1]!r}", self.text, token[2]
+            )
+        return token
+
+    def accept(self, kind: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse_query(self) -> Expression:
+        parts = [self.parse_select()]
+        while self.accept("union"):
+            self.accept("all")
+            parts.append(self.parse_select())
+        if self.peek() is not None:
+            token = self.peek()
+            raise SyntaxError_(f"trailing SQL {token[1]!r}", self.text, token[2])
+        if len(parts) == 1:
+            return parts[0]
+        return UnionAll(tuple(parts))
+
+    def parse_select(self) -> Expression:
+        self.expect("select")
+        self.accept("distinct")  # projections are set-semantics anyway
+        star = self.accept("star")
+        projections: List[Tuple[str, Optional[str]]] = []
+        if not star:
+            projections.append(self.parse_output_column())
+            while self.accept("comma"):
+                projections.append(self.parse_output_column())
+        self.expect("from")
+        source = self.parse_source()
+        conditions: List[Condition] = []
+        while True:
+            if self.accept("comma"):
+                source = Join(source, self.parse_source(), on=())
+            elif self.accept("join"):
+                right = self.parse_source()
+                self.expect("on")
+                pairs = [self.parse_join_pair()]
+                while self._next_is_join_pair():
+                    self.expect("and")
+                    pairs.append(self.parse_join_pair())
+                source = Join(source, right, on=tuple(pairs))
+            else:
+                break
+        if self.accept("where"):
+            conditions.append(self.parse_condition())
+            while self.accept("and"):
+                conditions.append(self.parse_condition())
+        expression: Expression = source
+        if conditions:
+            expression = Selection(expression, tuple(conditions))
+        if star:
+            return expression
+        columns = tuple(column for column, _ in projections)
+        names = tuple(
+            name if name is not None else column.rsplit(".", 1)[-1]
+            for column, name in projections
+        )
+        return Projection(expression, columns, names)
+
+    def _next_is_join_pair(self) -> bool:
+        # lookahead: AND col = col  (as opposed to AND of the WHERE clause,
+        # which cannot appear here — ON only accepts equality chains)
+        return self.peek() is not None and self.peek()[0] == "and"
+
+    def parse_output_column(self) -> Tuple[str, Optional[str]]:
+        column = self.parse_column()
+        alias = None
+        if self.accept("as"):
+            alias = self.expect("name")[1]
+        return column, alias
+
+    def parse_column(self) -> str:
+        first = self.expect("name")[1]
+        if self.accept("dot"):
+            second = self.expect("name")[1]
+            return f"{first}.{second}"
+        return first
+
+    def parse_source(self) -> Scan:
+        table = self.expect("name")[1]
+        alias = None
+        if self.accept("as"):
+            alias = self.expect("name")[1]
+        elif self.peek() is not None and self.peek()[0] == "name":
+            alias = self.next()[1]
+        return Scan(table, alias)
+
+    def parse_join_pair(self) -> Tuple[str, str]:
+        left = self.parse_column()
+        self.expect("eq")
+        right = self.parse_column()
+        return left, right
+
+    def parse_condition(self) -> Condition:
+        left = self.parse_column()
+        token = self.next()
+        if token[0] == "eq":
+            operator = "="
+        elif token[0] == "neq":
+            operator = "!="
+        else:
+            raise SyntaxError_(
+                f"expected comparison, found {token[1]!r}", self.text, token[2]
+            )
+        value = self.peek()
+        if value is None:
+            raise SyntaxError_("missing right-hand side", self.text, len(self.text))
+        if value[0] == "string":
+            self.next()
+            return Condition(left, Const(value[1][1:-1].replace("''", "'")), operator)
+        if value[0] == "number":
+            self.next()
+            literal = value[1]
+            number = float(literal) if "." in literal else int(literal)
+            return Condition(left, Const(number), operator)
+        return Condition(left, self.parse_column(), operator)
+
+
+def parse_sql(text: str) -> Expression:
+    """Parse a SELECT (optionally UNION of SELECTs) into the algebra."""
+    return _SqlParser(text).parse_query()

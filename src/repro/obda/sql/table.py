@@ -1,0 +1,64 @@
+"""Tables of the in-memory relational engine.
+
+The OBDA data layer (paper §1: "the data stored at the sources") is
+simulated by a small relational engine: named tables with named columns,
+rows as tuples of Python scalars.  It is deliberately schema-light — the
+engine exists to exercise mapping unfolding and rewriting evaluation, not
+to be a DBMS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...errors import MappingError
+
+__all__ = ["Table"]
+
+Row = Tuple[object, ...]
+
+
+class Table:
+    """A named relation with a fixed column list and append-only rows."""
+
+    def __init__(self, name: str, columns: Sequence[str], rows: Iterable[Sequence] = ()):
+        if len(set(columns)) != len(columns):
+            raise MappingError(f"duplicate column names in table {name!r}: {columns}")
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._position: Dict[str, int] = {
+            column: index for index, column in enumerate(self.columns)
+        }
+        self.rows: List[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    def insert(self, row: Sequence) -> None:
+        if len(row) != len(self.columns):
+            raise MappingError(
+                f"row arity {len(row)} does not match table {self.name!r} "
+                f"({len(self.columns)} columns)"
+            )
+        self.rows.append(tuple(row))
+
+    def insert_many(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self._position[column]
+        except KeyError:
+            raise MappingError(
+                f"table {self.name!r} has no column {column!r} "
+                f"(columns: {', '.join(self.columns)})"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {list(self.columns)}, {len(self.rows)} rows)"

@@ -1,0 +1,349 @@
+"""The OBDA system: ontology + mappings + sources, with certain-answer
+query answering and consistency checking (paper §1, §3).
+
+``OBDASystem`` wires the whole stack together::
+
+    ontology (TBox)          repro.dllite / repro.core (classification)
+       |  mappings           repro.obda.mapping
+       v
+    relational sources       repro.obda.sql
+
+Query answering methods:
+
+* ``"perfectref"``  — PerfectRef UCQ rewriting, evaluated over the
+  virtual extents pulled through the mappings;
+* ``"perfectref-sql"`` — same rewriting, but *unfolded* into source-level
+  SQL algebra and executed by the relational engine (the textbook OBDA
+  pipeline);
+* ``"presto"`` — classification-driven datalog rewriting (the paper's
+  motivation for fast classification), evaluated over virtual extents.
+
+All three return the same certain answers; the test-suite asserts it.
+
+Consistency checking follows the standard reduction: every negative
+inclusion becomes a boolean violation query (rewritten, so inferred
+memberships count), and every functionality assertion is checked on the
+rewritten extent of its role/attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.classifier import GraphClassifier
+from ..core.classify import Classification
+from ..dllite.abox import ABox
+from ..dllite.axioms import (
+    AttributeInclusion,
+    ConceptInclusion,
+    FunctionalAttribute,
+    FunctionalRole,
+    RoleInclusion,
+)
+from ..dllite.syntax import (
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeDomain,
+    ExistentialRole,
+    InverseRole,
+)
+from ..dllite.tbox import TBox
+from ..errors import InconsistentOntology, ReproError
+from .evaluation import (
+    ABoxExtents,
+    DatalogExtents,
+    ExtentProvider,
+    MappingExtents,
+    evaluate_ucq,
+)
+from .mapping import MappingCollection
+from .queries import Atom, ConjunctiveQuery, UnionQuery, Variable
+from .cq_parser import parse_query
+from .rewriting.perfectref import perfect_ref
+from .rewriting.presto import presto_rewrite
+from .rewriting.unfolding import unfold
+from .sql.database import Database
+
+__all__ = ["OBDASystem"]
+
+_X = Variable("x")
+_Y = Variable("y")
+_Z = Variable("z")
+
+
+def _membership_atoms(basic, variable: Variable, fresh: str) -> List[Atom]:
+    """Query atoms asserting membership of *variable* in a basic concept."""
+    if isinstance(basic, AtomicConcept):
+        return [Atom(basic.name, (variable,))]
+    if isinstance(basic, ExistentialRole):
+        role = basic.role
+        if isinstance(role, AtomicRole):
+            return [Atom(role.name, (variable, Variable(fresh)))]
+        return [Atom(role.role.name, (Variable(fresh), variable))]
+    if isinstance(basic, AttributeDomain):
+        return [Atom(basic.attribute.name, (variable, Variable(fresh)))]
+    raise TypeError(f"not a basic concept: {basic!r}")
+
+
+def _role_atom(role, subject: Variable, object_: Variable) -> Atom:
+    if isinstance(role, AtomicRole):
+        return Atom(role.name, (subject, object_))
+    return Atom(role.role.name, (object_, subject))
+
+
+class OBDASystem:
+    """An OBDA specification bound to its sources.
+
+    Either OBDA mode (``mappings`` + ``database``) or knowledge-base mode
+    (an explicit ``abox``) — exactly one of the two.
+    """
+
+    def __init__(
+        self,
+        tbox: TBox,
+        mappings: Optional[MappingCollection] = None,
+        database: Optional[Database] = None,
+        abox: Optional[ABox] = None,
+    ):
+        if (mappings is None) != (database is None):
+            raise ReproError("mappings and database must be provided together")
+        if (mappings is None) == (abox is None):
+            raise ReproError("provide either mappings+database or an abox")
+        self.tbox = tbox
+        self.mappings = mappings
+        self.database = database
+        self.abox = abox
+        self._classification: Optional[Classification] = None
+        # Rewritings depend only on the TBox, so they are cached across
+        # queries and consistency checks (str(ucq) is canonical enough:
+        # it renders the parsed disjuncts).
+        self._rewriting_cache: Dict[Tuple[str, str], object] = {}
+        self._violation_rewritings: Optional[List[Tuple[str, UnionQuery]]] = None
+
+    # -- shared infrastructure ---------------------------------------------------
+
+    @property
+    def classification(self) -> Classification:
+        if self._classification is None:
+            self._classification = GraphClassifier().classify(self.tbox)
+        return self._classification
+
+    def extents(self) -> ExtentProvider:
+        if self.abox is not None:
+            return ABoxExtents(self.abox)
+        return MappingExtents(self.mappings, self.database)
+
+    def _as_ucq(self, query: Union[str, UnionQuery, ConjunctiveQuery]) -> UnionQuery:
+        if isinstance(query, str):
+            return parse_query(query)
+        if isinstance(query, ConjunctiveQuery):
+            return UnionQuery([query], name=query.name)
+        return query
+
+    # -- query answering -----------------------------------------------------------
+
+    def rewrite(self, query, method: str = "perfectref"):
+        """Rewrite only (no evaluation); returns a UCQ or DatalogRewriting.
+
+        Rewritings are cached per (query, method) — they depend only on
+        the TBox, not on the data.
+        """
+        if method not in ("perfectref", "perfectref-sql", "presto"):
+            raise ReproError(f"unknown rewriting method {method!r}")
+        ucq = self._as_ucq(query)
+        key = (str(ucq), "presto" if method == "presto" else "perfectref")
+        cached = self._rewriting_cache.get(key)
+        if cached is not None:
+            return cached
+        if method == "presto":
+            rewritten = presto_rewrite(ucq, self.tbox, self.classification)
+        else:
+            rewritten = perfect_ref(ucq, self.tbox)
+        self._rewriting_cache[key] = rewritten
+        return rewritten
+
+    def certain_answers(
+        self,
+        query,
+        method: str = "perfectref",
+        check_consistency: bool = True,
+    ) -> Set[Tuple]:
+        """The certain answers of *query* over the OBDA specification.
+
+        Raises :class:`InconsistentOntology` when the KB is inconsistent
+        (every tuple would be a certain answer) unless checking is off.
+        """
+        if check_consistency and not self.is_consistent():
+            raise InconsistentOntology(
+                "the mapped sources violate the TBox; every tuple is entailed"
+            )
+        ucq = self._as_ucq(query)
+        if method == "perfectref":
+            return evaluate_ucq(self.rewrite(ucq), self.extents())
+        if method == "perfectref-sql":
+            if self.mappings is None:
+                raise ReproError("perfectref-sql requires mappings and a database")
+            return unfold(self.rewrite(ucq), self.mappings).execute(self.database)
+        if method == "presto":
+            rewriting = self.rewrite(ucq, method="presto")
+            provider = DatalogExtents(rewriting, self.extents())
+            return evaluate_ucq(rewriting.ucq, provider)
+        raise ReproError(f"unknown query answering method {method!r}")
+
+    def certain_answers_eql(self, query, check_consistency: bool = True):
+        """Answer an EQL-Lite query (epistemic FO shell over K-atoms).
+
+        Each embedded UCQ is answered under certain-answer semantics via
+        PerfectRef; the boolean/existential shell is evaluated over the
+        resulting relations (see :mod:`repro.obda.eql`).
+        """
+        from .eql import EqlQuery, evaluate_eql
+
+        if not isinstance(query, EqlQuery):
+            raise ReproError("certain_answers_eql expects an EqlQuery")
+        if check_consistency and not self.is_consistent():
+            raise InconsistentOntology(
+                "the mapped sources violate the TBox; every tuple is entailed"
+            )
+        return evaluate_eql(query, self.tbox, self.extents())
+
+    # -- instance-level services ---------------------------------------------------------
+
+    def instances_of(self, concept_text: str, method: str = "perfectref") -> Set[Tuple]:
+        """Retrieve all (certain) instances of a basic concept expression.
+
+        *concept_text* uses the textual syntax, e.g. ``"Teacher"`` or
+        ``"exists teaches . Course"``.
+        """
+        from ..dllite.parser import parse_concept
+        from ..dllite.syntax import QualifiedExistential
+
+        expression = parse_concept(concept_text)
+        if isinstance(expression, QualifiedExistential):
+            atoms = _membership_atoms(ExistentialRole(expression.role), _X, "w")
+            # refine: the witness must belong to the filler
+            role_atom = atoms[0]
+            witness = (
+                role_atom.args[0] if role_atom.args[1] == _X else role_atom.args[1]
+            )
+            atoms.append(Atom(expression.filler.name, (witness,)))
+        else:
+            atoms = _membership_atoms(expression, _X, "w")
+        query = UnionQuery([ConjunctiveQuery((_X,), atoms, "instances")])
+        return self.certain_answers(query, method=method)
+
+    def instance_check(self, concept_text: str, individual_name: str) -> bool:
+        """``(T, sources) ⊨ C(a)`` — instance checking via retrieval."""
+        from ..dllite.abox import Individual
+
+        return any(
+            answer[0] == Individual(individual_name)
+            for answer in self.instances_of(concept_text)
+        )
+
+    def analyze_mappings(self):
+        """Static lint of the mapping collection (see mapping_analysis)."""
+        from .mapping_analysis import analyze_mappings
+
+        if self.mappings is None or self.database is None:
+            raise ReproError("mapping analysis needs mappings and a database")
+        return analyze_mappings(self.mappings, self.database, self.tbox)
+
+    # -- consistency -------------------------------------------------------------------
+
+    def violation_queries(self) -> List[Tuple[str, UnionQuery]]:
+        """One boolean query per negative inclusion of the TBox."""
+        queries: List[Tuple[str, UnionQuery]] = []
+        for axiom in self.tbox.negative_inclusions:
+            if isinstance(axiom, ConceptInclusion):
+                atoms = _membership_atoms(axiom.lhs, _X, "w1") + _membership_atoms(
+                    axiom.rhs.concept, _X, "w2"
+                )
+            elif isinstance(axiom, RoleInclusion):
+                atoms = [
+                    _role_atom(axiom.lhs, _X, _Y),
+                    _role_atom(axiom.rhs.role, _X, _Y),
+                ]
+            elif isinstance(axiom, AttributeInclusion):
+                atoms = [
+                    Atom(axiom.lhs.name, (_X, _Y)),
+                    Atom(axiom.rhs.attribute.name, (_X, _Y)),
+                ]
+            else:  # pragma: no cover - defensive
+                continue
+            cq = ConjunctiveQuery((), atoms, name="violation")
+            queries.append((str(axiom), UnionQuery([cq], name="violation")))
+        return queries
+
+    def functionality_violations(self) -> List[str]:
+        """Functionality assertions violated by the (virtual) data."""
+        violated: List[str] = []
+        extents = self.extents()
+        for axiom in self.tbox.functionality_assertions:
+            if isinstance(axiom, FunctionalRole):
+                role = axiom.role
+                name = role.name if isinstance(role, AtomicRole) else role.role.name
+                ucq = perfect_ref(
+                    UnionQuery(
+                        [ConjunctiveQuery((_X, _Y), [Atom(name, (_X, _Y))])], "ext"
+                    ),
+                    self.tbox,
+                )
+                pairs = evaluate_ucq(ucq, extents)
+                if isinstance(role, InverseRole):
+                    pairs = {(b, a) for a, b in pairs}
+            elif isinstance(axiom, FunctionalAttribute):
+                ucq = perfect_ref(
+                    UnionQuery(
+                        [
+                            ConjunctiveQuery(
+                                (_X, _Y), [Atom(axiom.attribute.name, (_X, _Y))]
+                            )
+                        ],
+                        "ext",
+                    ),
+                    self.tbox,
+                )
+                pairs = evaluate_ucq(ucq, extents)
+            else:  # pragma: no cover - defensive
+                continue
+            subjects = [subject for subject, _ in pairs]
+            if len(subjects) != len(set(subjects)):
+                violated.append(str(axiom))
+        return violated
+
+    def inconsistency_witnesses(self) -> List[str]:
+        """Human-readable reasons the KB is inconsistent (empty = consistent)."""
+        if self._violation_rewritings is None:
+            self._violation_rewritings = [
+                (label, perfect_ref(ucq, self.tbox))
+                for label, ucq in self.violation_queries()
+            ]
+        witnesses: List[str] = []
+        extents = self.extents()
+        for label, rewritten in self._violation_rewritings:
+            if evaluate_ucq(rewritten, extents):
+                witnesses.append(f"negative inclusion violated: {label}")
+        witnesses.extend(
+            f"functionality violated: {label}"
+            for label in self.functionality_violations()
+        )
+        # Unsatisfiable predicates with a non-empty extent also break the KB.
+        for node in self.classification.unsatisfiable():
+            if isinstance(node, (AtomicConcept, AtomicRole, AtomicAttribute)):
+                arity = 1 if isinstance(node, AtomicConcept) else 2
+                variables = (_X,) if arity == 1 else (_X, _Y)
+                ucq = perfect_ref(
+                    UnionQuery(
+                        [ConjunctiveQuery(variables, [Atom(node.name, variables)])],
+                        "unsat",
+                    ),
+                    self.tbox,
+                )
+                if evaluate_ucq(ucq, extents):
+                    witnesses.append(f"unsatisfiable predicate populated: {node}")
+        return witnesses
+
+    def is_consistent(self) -> bool:
+        return not self.inconsistency_witnesses()

@@ -1,0 +1,17 @@
+"""Recurring ontology-design patterns (paper §8)."""
+
+from .catalog import (
+    PatternInstance,
+    n_ary_relation_pattern,
+    part_whole_pattern,
+    role_qualification_pattern,
+    temporal_snapshot_pattern,
+)
+
+__all__ = [
+    "PatternInstance",
+    "n_ary_relation_pattern",
+    "part_whole_pattern",
+    "role_qualification_pattern",
+    "temporal_snapshot_pattern",
+]

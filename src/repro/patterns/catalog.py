@@ -1,0 +1,212 @@
+"""A catalog of recurring domain-modeling patterns (paper §8).
+
+"Experience with the design of ontologies that formalize real-world
+domains has provided the opportunity to identify aspects of domain
+modeling that commonly occur in different scenarios ... such as
+temporally changing information or part-whole relations, and to
+identify patterns for effectively modeling them."
+
+Each pattern is a parametric axiom template: calling it returns a
+:class:`PatternInstance` holding the DL-Lite axioms to merge into a
+TBox (``instance.apply(tbox)``) plus a human-readable rationale, so a
+designer can drop a vetted modeling idiom into an ontology in one call.
+All patterns stay inside DL-Lite_A — they are meant for OBDA use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..dllite.axioms import (
+    Axiom,
+    ConceptInclusion,
+    FunctionalRole,
+    RoleInclusion,
+)
+from ..dllite.syntax import (
+    AtomicConcept,
+    AtomicRole,
+    ExistentialRole,
+    InverseRole,
+    NegatedConcept,
+    QualifiedExistential,
+)
+from ..dllite.tbox import TBox
+
+__all__ = [
+    "PatternInstance",
+    "part_whole_pattern",
+    "temporal_snapshot_pattern",
+    "n_ary_relation_pattern",
+    "role_qualification_pattern",
+]
+
+
+@dataclass
+class PatternInstance:
+    """The output of a pattern template: axioms plus documentation."""
+
+    name: str
+    axioms: List[Axiom]
+    rationale: str
+    #: fresh predicates the pattern introduced (documented for the designer)
+    introduced: List[str] = field(default_factory=list)
+
+    def apply(self, tbox: TBox) -> TBox:
+        """Merge the pattern's axioms into *tbox* (returns the same TBox)."""
+        tbox.extend(self.axioms)
+        return tbox
+
+    def __iter__(self):
+        return iter(self.axioms)
+
+
+def part_whole_pattern(
+    part: str,
+    whole: str,
+    role: str = "isPartOf",
+    mandatory_part: bool = True,
+    mandatory_whole: bool = False,
+    exclusive: bool = False,
+) -> PatternInstance:
+    """Part-whole modeling — exactly the idiom of the paper's Figure 2.
+
+    ``part ⊑ ∃role.whole`` (every part belongs to some whole) and,
+    optionally, ``whole ⊑ ∃role⁻.part`` (every whole has some part) and
+    ``(funct role)`` (a part belongs to at most one whole — *exclusive*
+    containment).
+    """
+    part_c, whole_c = AtomicConcept(part), AtomicConcept(whole)
+    role_r = AtomicRole(role)
+    axioms: List[Axiom] = []
+    if mandatory_part:
+        axioms.append(ConceptInclusion(part_c, QualifiedExistential(role_r, whole_c)))
+    if mandatory_whole:
+        axioms.append(
+            ConceptInclusion(whole_c, QualifiedExistential(InverseRole(role_r), part_c))
+        )
+    if exclusive:
+        axioms.append(FunctionalRole(role_r))
+    return PatternInstance(
+        name=f"part-whole({part}, {whole})",
+        axioms=axioms,
+        rationale=(
+            f"Every {part} is part of some {whole}"
+            + (f"; every {whole} has some {part}" if mandatory_whole else "")
+            + ("; containment is exclusive" if exclusive else "")
+            + f" — via the '{role}' role, as in Figure 2 of the paper."
+        ),
+    )
+
+
+def temporal_snapshot_pattern(
+    concept: str,
+    snapshot_role: str = "hasSnapshot",
+    time_attribute: str = "atTime",
+) -> PatternInstance:
+    """Temporally changing information via the snapshot idiom.
+
+    DL-Lite has no temporal operators, so changing information is
+    modeled through reified snapshots: ``C ⊑ ∃hasSnapshot.CSnapshot``,
+    each snapshot carrying a timestamp attribute and belonging to
+    exactly one subject.
+    """
+    subject = AtomicConcept(concept)
+    snapshot = AtomicConcept(f"{concept}Snapshot")
+    role = AtomicRole(snapshot_role)
+    from ..dllite.axioms import FunctionalAttribute
+    from ..dllite.syntax import AtomicAttribute, AttributeDomain
+
+    attribute = AtomicAttribute(time_attribute)
+    axioms: List[Axiom] = [
+        ConceptInclusion(subject, QualifiedExistential(role, snapshot)),
+        ConceptInclusion(ExistentialRole(InverseRole(role)), snapshot),
+        ConceptInclusion(ExistentialRole(role), subject),
+        ConceptInclusion(snapshot, AttributeDomain(attribute)),
+        ConceptInclusion(AttributeDomain(attribute), snapshot),
+        FunctionalRole(InverseRole(role)),  # a snapshot belongs to one subject
+        FunctionalAttribute(attribute),  # and carries one timestamp
+        ConceptInclusion(subject, NegatedConcept(snapshot)),
+    ]
+    return PatternInstance(
+        name=f"temporal-snapshot({concept})",
+        axioms=axioms,
+        rationale=(
+            f"Time-varying state of {concept} is reified as "
+            f"{concept}Snapshot individuals linked by '{snapshot_role}' and "
+            f"stamped by the functional attribute '{time_attribute}'."
+        ),
+        introduced=[snapshot.name, snapshot_role, time_attribute],
+    )
+
+
+def n_ary_relation_pattern(
+    relation: str,
+    participants: List[Tuple[str, str]],
+) -> PatternInstance:
+    """Reify an n-ary relation as a concept with one role per leg.
+
+    DL-Lite roles are binary; an n-ary relationship (e.g. an *Exam*
+    between Student, Course and Date) becomes a fresh concept with one
+    functional role per participant, each mandatorily filled.
+    """
+    if len(participants) < 2:
+        raise ValueError("an n-ary relation needs at least two participants")
+    reified = AtomicConcept(relation)
+    axioms: List[Axiom] = []
+    introduced = [relation]
+    for role_name, target in participants:
+        role = AtomicRole(role_name)
+        target_c = AtomicConcept(target)
+        introduced.append(role_name)
+        axioms.append(ConceptInclusion(reified, QualifiedExistential(role, target_c)))
+        axioms.append(ConceptInclusion(ExistentialRole(role), reified))
+        axioms.append(FunctionalRole(role))
+    return PatternInstance(
+        name=f"n-ary({relation})",
+        axioms=axioms,
+        rationale=(
+            f"'{relation}' reifies an {len(participants)}-ary relationship; "
+            "each leg is a mandatory, functional binary role."
+        ),
+        introduced=introduced,
+    )
+
+
+def role_qualification_pattern(
+    general_role: str,
+    qualified_role: str,
+    domain: Optional[str] = None,
+    range_: Optional[str] = None,
+) -> PatternInstance:
+    """A specialized role under a general one, with typed ends.
+
+    E.g. ``worksFor`` specialized to ``leads`` with domain Manager:
+    ``leads ⊑ worksFor``, ``∃leads ⊑ Manager``, ``∃leads⁻ ⊑ Team``.
+    """
+    general = AtomicRole(general_role)
+    qualified = AtomicRole(qualified_role)
+    axioms: List[Axiom] = [RoleInclusion(qualified, general)]
+    if domain is not None:
+        axioms.append(
+            ConceptInclusion(ExistentialRole(qualified), AtomicConcept(domain))
+        )
+    if range_ is not None:
+        axioms.append(
+            ConceptInclusion(
+                ExistentialRole(InverseRole(qualified)), AtomicConcept(range_)
+            )
+        )
+    return PatternInstance(
+        name=f"role-qualification({qualified_role} ⊑ {general_role})",
+        axioms=axioms,
+        rationale=(
+            f"'{qualified_role}' is a typed specialization of "
+            f"'{general_role}'"
+            + (f" with domain {domain}" if domain else "")
+            + (f" and range {range_}" if range_ else "")
+            + "."
+        ),
+        introduced=[qualified_role],
+    )

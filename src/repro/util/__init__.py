@@ -1,0 +1,5 @@
+"""Small shared utilities (timing, deterministic ordering)."""
+
+from .timing import Stopwatch, format_millis
+
+__all__ = ["Stopwatch", "format_millis"]

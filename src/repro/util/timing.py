@@ -1,0 +1,46 @@
+"""Wall-clock helpers used by the Figure 1 harness and the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import TimeoutExceeded
+
+__all__ = ["Stopwatch", "format_millis"]
+
+
+class Stopwatch:
+    """A monotonic stopwatch with an optional budget.
+
+    The Figure 1 harness reruns each reasoner with a timeout, like the
+    paper ("Timeout was set at one hour"); reasoners poll
+    :meth:`check_budget` at convenient points and abort by raising
+    :class:`repro.errors.TimeoutExceeded`.
+    """
+
+    def __init__(self, budget_s: Optional[float] = None):
+        self.budget_s = budget_s
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self._start
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_s * 1000.0
+
+    def check_budget(self) -> None:
+        if self.budget_s is not None and self.elapsed_s > self.budget_s:
+            raise TimeoutExceeded(self.budget_s, self.elapsed_s)
+
+
+def format_millis(ms: Optional[float]) -> str:
+    """Render milliseconds the way Figure 1 does (seconds with 3 decimals)."""
+    if ms is None:
+        return "timeout"
+    return f"{ms / 1000.0:.3f}"

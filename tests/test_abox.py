@@ -1,0 +1,71 @@
+"""Unit tests for the ABox container."""
+
+import pytest
+
+from repro.dllite import (
+    ABox,
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeAssertion,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+)
+
+A = AtomicConcept("A")
+P = AtomicRole("P")
+U = AtomicAttribute("u")
+ann, bob = Individual("ann"), Individual("bob")
+
+
+def test_add_and_indexes():
+    abox = ABox(
+        [
+            ConceptAssertion(A, ann),
+            RoleAssertion(P, ann, bob),
+            AttributeAssertion(U, bob, 42),
+        ]
+    )
+    assert abox.concept_instances(A) == {ann}
+    assert abox.role_pairs(P) == {(ann, bob)}
+    assert abox.attribute_pairs(U) == {(bob, 42)}
+    assert len(abox) == 3
+
+
+def test_missing_predicates_have_empty_extents():
+    abox = ABox()
+    assert abox.concept_instances(A) == set()
+    assert abox.role_pairs(P) == set()
+    assert abox.attribute_pairs(U) == set()
+
+
+def test_deduplication():
+    abox = ABox()
+    assert abox.add(ConceptAssertion(A, ann)) is True
+    assert abox.add(ConceptAssertion(A, ann)) is False
+    assert abox.extend([ConceptAssertion(A, ann), ConceptAssertion(A, bob)]) == 1
+
+
+def test_individuals_across_assertion_kinds():
+    abox = ABox(
+        [
+            RoleAssertion(P, ann, bob),
+            AttributeAssertion(U, Individual("carol"), "x"),
+        ]
+    )
+    assert abox.individuals() == {ann, bob, Individual("carol")}
+
+
+def test_membership_and_copy():
+    assertion = ConceptAssertion(A, ann)
+    abox = ABox([assertion])
+    assert assertion in abox
+    clone = abox.copy()
+    clone.add(ConceptAssertion(A, bob))
+    assert len(abox) == 1 and len(clone) == 2
+
+
+def test_add_rejects_garbage():
+    with pytest.raises(TypeError):
+        ABox().add(("A", "ann"))

@@ -1,0 +1,54 @@
+"""Unit tests for the GraphClassifier facade."""
+
+import pytest
+
+from repro.core import CLOSURE_ALGORITHMS, GraphClassifier, classify
+from repro.dllite import AtomicConcept, parse_tbox
+from repro.errors import TimeoutExceeded
+from repro.util.timing import Stopwatch
+
+
+def test_classify_convenience_equals_classifier(county_tbox):
+    direct = classify(county_tbox)
+    via_class = GraphClassifier().classify(county_tbox)
+    assert set(direct.subsumptions()) == set(via_class.subsumptions())
+    assert direct.unsatisfiable() == via_class.unsatisfiable()
+
+
+@pytest.mark.parametrize("algorithm", sorted(CLOSURE_ALGORITHMS))
+def test_all_closure_algorithms_give_same_classification(county_tbox, algorithm):
+    reference = GraphClassifier().classify(county_tbox)
+    candidate = GraphClassifier(closure_algorithm=algorithm).classify(county_tbox)
+    assert set(candidate.subsumptions()) == set(reference.subsumptions())
+    assert candidate.unsat_ids == reference.unsat_ids
+
+
+def test_timings_are_populated(county_tbox):
+    classifier = GraphClassifier()
+    classifier.classify(county_tbox)
+    timings = classifier.timings
+    assert timings.build_ms >= 0
+    assert timings.closure_ms >= 0
+    assert timings.unsat_ms >= 0
+    assert timings.total_ms == pytest.approx(
+        timings.build_ms + timings.closure_ms + timings.unsat_ms
+    )
+
+
+def test_budget_enforced_on_large_input():
+    from repro.corpus import load_profile
+
+    tbox = load_profile("Mouse")
+    with pytest.raises(TimeoutExceeded):
+        GraphClassifier().classify(tbox, watch=Stopwatch(budget_s=0.0))
+
+
+def test_empty_tbox():
+    classification = classify(parse_tbox(""))
+    assert list(classification.subsumptions()) == []
+    assert classification.unsatisfiable() == set()
+
+
+def test_unknown_closure_algorithm():
+    with pytest.raises(ValueError):
+        GraphClassifier(closure_algorithm="nope").classify(parse_tbox("A isa B"))

@@ -1,0 +1,133 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_ontology_file, main
+
+ONTOLOGY_TEXT = """
+role isPartOf
+County isa exists isPartOf . State
+Municipality isa County
+County isa not State
+"""
+
+
+@pytest.fixture
+def ontology_file(tmp_path):
+    path = tmp_path / "geo.dllite"
+    path.write_text(ONTOLOGY_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def owl_file(tmp_path):
+    from repro.dllite import parse_tbox, serialize_owl_functional
+
+    path = tmp_path / "geo.ofn"
+    path.write_text(serialize_owl_functional(parse_tbox(ONTOLOGY_TEXT)))
+    return str(path)
+
+
+def test_load_sniffs_both_formats(ontology_file, owl_file):
+    textual = load_ontology_file(ontology_file)
+    owl = load_ontology_file(owl_file)
+    assert set(textual.axioms) == set(owl.axioms)
+
+
+def test_classify_command(ontology_file, capsys):
+    assert main(["classify", ontology_file, "--list"]) == 0
+    output = capsys.readouterr().out
+    assert "subsumptions (named, non-trivial): " in output
+    assert "Municipality ⊑ County" in output
+    assert "unsatisfiable: none" in output
+
+
+def test_implication_command_exit_codes(ontology_file, capsys):
+    assert main(["implication", ontology_file, "Municipality isa County"]) == 0
+    assert main(["implication", ontology_file, "County isa Municipality"]) == 1
+    output = capsys.readouterr().out
+    assert "yes" in output and "no" in output
+
+
+def test_rewrite_command_both_methods(ontology_file, capsys):
+    assert main(["rewrite", ontology_file, "q(x) :- County(x)"]) == 0
+    perfectref_output = capsys.readouterr().out
+    assert "Municipality(x)" in perfectref_output
+    assert (
+        main(["rewrite", ontology_file, "q(x) :- County(x)", "--method", "presto"])
+        == 0
+    )
+    presto_output = capsys.readouterr().out
+    assert "County*" in presto_output
+
+
+def test_render_command(ontology_file, tmp_path, capsys):
+    out = tmp_path / "geo.svg"
+    assert main(["render", ontology_file, "-o", str(out)]) == 0
+    assert out.read_text().startswith("<svg")
+
+
+def test_doc_command(ontology_file, tmp_path):
+    out = tmp_path / "geo.md"
+    assert main(["doc", ontology_file, "-o", str(out), "--title", "Geo"]) == 0
+    text = out.read_text()
+    assert text.startswith("# Geo")
+    assert "### County" in text
+
+
+def test_corpus_command(tmp_path, capsys):
+    assert main(["corpus", "--list"]) == 0
+    assert "Mouse" in capsys.readouterr().out
+    out = tmp_path / "mouse.dllite"
+    assert main(["corpus", "Mouse", "--scale", "0.05", "-o", str(out)]) == 0
+    reloaded = load_ontology_file(str(out))
+    assert len(reloaded) > 0
+    assert main(["corpus"]) == 2  # neither name nor --list
+
+
+def test_corpus_owl_format(tmp_path):
+    out = tmp_path / "mouse.ofn"
+    assert main(
+        ["corpus", "Mouse", "--scale", "0.05", "--format", "owl", "-o", str(out)]
+    ) == 0
+    assert out.read_text().startswith("Prefix(")
+
+
+def test_figure1_command(capsys):
+    assert main(
+        ["figure1", "--scale", "0.04", "--budget", "20", "--ontology", "Mouse"]
+    ) == 0
+    assert "QuOnto" in capsys.readouterr().out
+
+
+def test_errors_reported_cleanly(tmp_path, capsys):
+    bad = tmp_path / "bad.dllite"
+    bad.write_text("A isa isa B")
+    assert main(["classify", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert main(["classify", str(tmp_path / "missing.dllite")]) == 2
+
+
+def test_diff_command(tmp_path, capsys):
+    old = tmp_path / "v1.dllite"
+    new = tmp_path / "v2.dllite"
+    old.write_text("A isa B\nB isa C")
+    new.write_text("A isa B\nconcept C")  # C kept in the vocabulary, axiom dropped
+    assert main(["diff", str(old), str(new)]) == 0
+    assert "BREAKING" in capsys.readouterr().out
+    assert main(["diff", str(old), str(new), "--check"]) == 1
+    capsys.readouterr()
+    assert main(["diff", str(old), str(old), "--check"]) == 0
+
+
+def test_lint_command(tmp_path, capsys):
+    clean = tmp_path / "clean.dllite"
+    clean.write_text("A isa B")
+    assert main(["lint", str(clean)]) == 0
+    assert "no issues" in capsys.readouterr().out
+    broken = tmp_path / "broken.dllite"
+    broken.write_text("Dead isa A\nDead isa B\nA isa not B\nconcept Unused")
+    assert main(["lint", str(broken)]) == 1
+    output = capsys.readouterr().out
+    assert "unsatisfiable predicate: Dead" in output
+    assert "declared but unused: Unused" in output

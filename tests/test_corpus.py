@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic benchmark corpus."""
+
+import pytest
+
+from repro.core import classify
+from repro.corpus import (
+    FIGURE1_ORDER,
+    OntologyProfile,
+    PROFILES,
+    figure1_tboxes,
+    generate,
+    load_profile,
+)
+
+
+def test_all_eleven_figure1_rows_present():
+    assert len(FIGURE1_ORDER) == 11
+    assert FIGURE1_ORDER[0] == "Mouse"
+    assert FIGURE1_ORDER[-1] == "FMA-OBO"
+    assert set(FIGURE1_ORDER) == set(PROFILES)
+
+
+def test_generation_is_deterministic():
+    first = load_profile("Transportation")
+    second = load_profile("Transportation")
+    assert set(first.axioms) == set(second.axioms)
+    assert first.signature == second.signature
+
+
+def test_signature_sizes_match_profile():
+    profile = PROFILES["DOLCE"]
+    tbox = generate(profile)
+    assert len(tbox.signature.concepts) >= profile.concepts  # + unsat seeds
+    assert len(tbox.signature.roles) == profile.roles
+    assert len(tbox.signature.attributes) == profile.attributes
+
+
+def test_scaling_shrinks_counts():
+    small = generate(PROFILES["Gene"], scale=0.1)
+    full = generate(PROFILES["Gene"])
+    assert len(small.signature.concepts) == pytest.approx(
+        len(full.signature.concepts) * 0.1, rel=0.05
+    )
+    assert len(small) < len(full)
+
+
+def test_no_accidental_unsat_predicates():
+    """Real benchmark ontologies are (near-)clean; the generator must only
+    produce the deliberately seeded unsatisfiable predicates."""
+    for name in ("Transportation", "DOLCE", "AEO", "Galen"):
+        tbox = load_profile(name, scale=0.5)
+        classification = classify(tbox)
+        expected = PROFILES[name].scaled(0.5).unsat_seeds
+        unsat_names = {str(n) for n in classification.unsatisfiable()}
+        # exactly the seeded Dead concepts, nothing collateral
+        assert unsat_names == {f"Dead{i}" for i in range(expected)}
+
+
+def test_disjointness_present_where_profiled():
+    tbox = load_profile("AEO", scale=0.5)
+    assert len(tbox.negative_inclusions) > 0
+    mouse = load_profile("Mouse", scale=0.3)
+    assert len(mouse.negative_inclusions) == 0
+
+
+def test_qualified_existentials_where_profiled():
+    galen = load_profile("Galen", scale=0.2)
+    assert any(True for _ in galen.qualified_existentials())
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError):
+        load_profile("SNOMED")
+
+
+def test_figure1_tboxes_iterates_in_order():
+    names = [name for name, _ in figure1_tboxes(scale=0.05)]
+    assert names == FIGURE1_ORDER
+
+
+def test_profile_scaled_preserves_shape():
+    profile = PROFILES["Galen"]
+    scaled = profile.scaled(0.5)
+    assert scaled.concepts == int(profile.concepts * 0.5)
+    assert scaled.depth == profile.depth
+    assert scaled.existential_fraction == profile.existential_fraction
+
+
+def test_tiny_profile_edge_cases():
+    tiny = OntologyProfile(name="tiny", concepts=1, roles=0)
+    tbox = generate(tiny)
+    assert len(tbox.signature.concepts) == 1
+    assert len(tbox) == 0
+
+
+def test_name_prefix_enables_multi_domain_merge():
+    import dataclasses
+
+    from repro.dllite import TBox
+    from repro.graphical import horizontal_modules
+
+    merged = TBox(name="multi")
+    for name, prefix in (("Mouse", "a_"), ("Transportation", "b_")):
+        part = generate(
+            dataclasses.replace(PROFILES[name], name_prefix=prefix), scale=0.2
+        )
+        assert all(str(p).startswith(prefix) for p in part.signature)
+        merged.extend(part.axioms)
+        for predicate in part.signature:
+            merged.declare(predicate)
+    modules = [m for m in horizontal_modules(merged) if len(m) > 0]
+    assert len(modules) == 2

@@ -1,0 +1,112 @@
+"""Unit tests for the Definition 1 digraph construction."""
+
+import pytest
+
+from repro.core.digraph import (
+    ATTRIBUTE_SORT,
+    CONCEPT_SORT,
+    ROLE_SORT,
+    build_digraph,
+    sort_of,
+)
+from repro.dllite import (
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeDomain,
+    ExistentialRole,
+    InverseRole,
+    parse_tbox,
+)
+
+A = AtomicConcept("A")
+P = AtomicRole("P")
+
+
+def test_signature_nodes_per_definition_1():
+    tbox = parse_tbox("role P\nconcept A")
+    graph = build_digraph(tbox)
+    # Rule 1: node A; rule 2: P, P⁻, ∃P, ∃P⁻
+    assert A in graph
+    assert P in graph
+    assert InverseRole(P) in graph
+    assert ExistentialRole(P) in graph
+    assert ExistentialRole(InverseRole(P)) in graph
+    assert graph.node_count == 5
+    assert graph.arc_count == 0
+
+
+def test_concept_inclusion_rule_3():
+    graph = build_digraph(parse_tbox("A isa B"))
+    arcs = set(graph.arcs())
+    assert (AtomicConcept("A"), AtomicConcept("B")) in arcs
+    assert graph.arc_count == 1
+
+
+def test_role_inclusion_rule_4_adds_four_arcs():
+    graph = build_digraph(parse_tbox("role P, R\nP isa R"))
+    R = AtomicRole("R")
+    arcs = set(graph.arcs())
+    assert (P, R) in arcs
+    assert (InverseRole(P), InverseRole(R)) in arcs
+    assert (ExistentialRole(P), ExistentialRole(R)) in arcs
+    assert (ExistentialRole(InverseRole(P)), ExistentialRole(InverseRole(R))) in arcs
+    assert graph.arc_count == 4
+
+
+def test_role_inclusion_with_inverse_rhs():
+    graph = build_digraph(parse_tbox("role P, R\nP isa R^-"))
+    R = AtomicRole("R")
+    arcs = set(graph.arcs())
+    assert (P, InverseRole(R)) in arcs
+    assert (InverseRole(P), R) in arcs
+    assert (ExistentialRole(P), ExistentialRole(InverseRole(R))) in arcs
+    assert (ExistentialRole(InverseRole(P)), ExistentialRole(R)) in arcs
+
+
+def test_qualified_existential_rule_5_weakens_filler():
+    graph = build_digraph(parse_tbox("A isa exists P . B"))
+    arcs = set(graph.arcs())
+    assert (A, ExistentialRole(P)) in arcs
+    # the filler is NOT an arc target (Definition 1, rule 5)
+    assert all(target != AtomicConcept("B") for _, target in arcs)
+    assert graph.arc_count == 1
+
+
+def test_negative_inclusions_contribute_no_arcs():
+    graph = build_digraph(parse_tbox("role P, R\nA isa not B\nP isa not R"))
+    assert graph.arc_count == 0
+    assert graph.node_count > 0
+
+
+def test_attribute_rules():
+    tbox = parse_tbox("attribute u, v\nu isa v\ndomain(u) isa A")
+    graph = build_digraph(tbox)
+    u, v = AtomicAttribute("u"), AtomicAttribute("v")
+    arcs = set(graph.arcs())
+    assert (u, v) in arcs
+    assert (AttributeDomain(u), AttributeDomain(v)) in arcs
+    assert (AttributeDomain(u), A) in arcs
+
+
+def test_sort_of_nodes():
+    assert sort_of(A) == CONCEPT_SORT
+    assert sort_of(ExistentialRole(P)) == CONCEPT_SORT
+    assert sort_of(AttributeDomain(AtomicAttribute("u"))) == CONCEPT_SORT
+    assert sort_of(P) == ROLE_SORT
+    assert sort_of(InverseRole(P)) == ROLE_SORT
+    assert sort_of(AtomicAttribute("u")) == ATTRIBUTE_SORT
+    with pytest.raises(TypeError):
+        sort_of("A")
+
+
+def test_duplicate_arcs_not_double_counted():
+    graph = build_digraph(parse_tbox("A isa B\nA isa exists P . C\nA isa exists P"))
+    # A ⊑ ∃P.C and A ⊑ ∃P both contribute the arc (A, ∃P) once
+    assert graph.arc_count == 2
+
+
+def test_node_id_lookup_errors():
+    graph = build_digraph(parse_tbox("A isa B"))
+    with pytest.raises(KeyError):
+        graph.node_id(AtomicConcept("Missing"))

@@ -1,0 +1,91 @@
+"""Unit tests for the automated documentation generator (§8)."""
+
+from repro.core import classify
+from repro.dllite import parse_tbox
+from repro.docs import DocumentationOptions, generate_documentation
+
+
+def test_documentation_covers_all_predicates(university_tbox):
+    text = generate_documentation(university_tbox)
+    for concept in university_tbox.signature.concepts:
+        assert f"### {concept.name}" in text
+    for role in university_tbox.signature.roles:
+        assert f"### {role.name}" in text
+    for attribute in university_tbox.signature.attributes:
+        assert f"### {attribute.name}" in text
+
+
+def test_documentation_reports_inferred_subsumers(university_tbox):
+    text = generate_documentation(university_tbox)
+    # Professor ⊑ Person is inferred (via Teacher), not asserted
+    professor_section = text.split("### Professor")[1].split("###")[0]
+    assert "inferred subsumers" in professor_section
+    assert "Person" in professor_section
+    assert "asserted subsumers" in professor_section
+
+
+def test_documentation_reports_disjointness_and_participation(university_tbox):
+    text = generate_documentation(university_tbox)
+    student_section = text.split("### Student")[1].split("###")[0]
+    assert "disjoint with" in student_section and "Teacher" in student_section
+    teacher_section = text.split("### Teacher")[1].split("###")[0]
+    assert "participation" in teacher_section
+
+
+def test_documentation_reports_role_typing(university_tbox):
+    text = generate_documentation(university_tbox)
+    teaches_section = text.split("### teaches")[1].split("###")[0]
+    assert "domain" in teaches_section and "Teacher" in teaches_section
+    assert "range" in teaches_section and "Course" in teaches_section
+
+
+def test_documentation_reports_functional_attribute(university_tbox):
+    text = generate_documentation(university_tbox)
+    salary_section = text.split("### salary")[1]
+    assert "functional" in salary_section
+    assert "Employee" in salary_section  # attribute domain
+
+
+def test_design_warning_for_unsatisfiable_predicates():
+    tbox = parse_tbox("Dead isa A\nDead isa B\nA isa not B")
+    text = generate_documentation(tbox)
+    assert "Design warning" in text
+    assert "Dead" in text
+    dead_section = text.split("### Dead")[1].split("###")[0]
+    assert "unsatisfiable" in dead_section
+
+
+def test_documentation_is_deterministic(university_tbox):
+    assert generate_documentation(university_tbox) == generate_documentation(
+        university_tbox
+    )
+
+
+def test_options_disable_inference_and_stats(university_tbox):
+    options = DocumentationOptions(include_inferred=False, include_statistics=False)
+    text = generate_documentation(university_tbox, options=options)
+    assert "inferred subsumers" not in text
+    assert "At a glance" not in text
+
+
+def test_reuses_supplied_classification(university_tbox):
+    classification = classify(university_tbox)
+    text = generate_documentation(university_tbox, classification=classification)
+    assert "inferred subsumers" in text
+
+
+def test_title_override(university_tbox):
+    options = DocumentationOptions(title="My Ontology")
+    text = generate_documentation(university_tbox, options=options)
+    assert text.startswith("# My Ontology")
+
+
+def test_design_notes_surface_in_documentation():
+    from repro.dllite import parse_tbox
+
+    tbox = parse_tbox(
+        "note: decided with the registrar's office\nStudent isa Person"
+    )
+    text = generate_documentation(tbox)
+    assert "design note" in text
+    assert "registrar" in text

@@ -1,0 +1,28 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.classifier
+import repro.dllite
+import repro.obda.sql.database
+import repro.obda.sparql
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro,
+        repro.dllite,
+        repro.core.classifier,
+        repro.obda.sql.database,
+        repro.obda.sparql,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"

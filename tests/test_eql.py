@@ -1,0 +1,200 @@
+"""Unit tests for EQL-Lite(UCQ) — epistemic queries beyond CQs."""
+
+import pytest
+
+from repro.dllite import (
+    ABox,
+    AtomicConcept,
+    AtomicRole,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+    parse_tbox,
+)
+from repro.errors import ReproError
+from repro.obda import (
+    ABoxExtents,
+    EqlAnd,
+    EqlExists,
+    EqlNot,
+    EqlOr,
+    EqlQuery,
+    KAtom,
+    OBDASystem,
+    Variable,
+    evaluate_eql,
+    parse_cq,
+    parse_query,
+)
+
+x, y = Variable("x"), Variable("y")
+ada, bob, carol = Individual("ada"), Individual("bob"), Individual("carol")
+
+
+@pytest.fixture
+def setting():
+    tbox = parse_tbox(
+        """
+        role attends
+        GradStudent isa Student
+        Student isa Person
+        Lecturer isa Person
+        """
+    )
+    abox = ABox(
+        [
+            ConceptAssertion(AtomicConcept("GradStudent"), ada),
+            ConceptAssertion(AtomicConcept("Student"), bob),
+            ConceptAssertion(AtomicConcept("Lecturer"), carol),
+            RoleAssertion(AtomicRole("attends"), bob, Individual("logic")),
+        ]
+    )
+    return tbox, ABoxExtents(abox)
+
+
+def test_k_atom_uses_certain_answers(setting):
+    tbox, extents = setting
+    query = EqlQuery([x], KAtom(parse_query("q(x) :- Student(x)")))
+    answers = evaluate_eql(query, tbox, extents)
+    # ada is a Student by inference (GradStudent ⊑ Student)
+    assert answers == {(ada,), (bob,)}
+
+
+def test_conjunction_joins(setting):
+    tbox, extents = setting
+    query = EqlQuery(
+        [x],
+        EqlAnd(
+            KAtom(parse_query("q(x) :- Student(x)")),
+            KAtom(parse_query("q(x) :- attends(x, y)")),
+        ),
+    )
+    assert evaluate_eql(query, tbox, extents) == {(bob,)}
+
+
+def test_safe_negation(setting):
+    tbox, extents = setting
+    # students NOT KNOWN to attend anything — epistemic semantics
+    query = EqlQuery(
+        [x],
+        EqlAnd(
+            KAtom(parse_query("q(x) :- Student(x)")),
+            EqlNot(KAtom(parse_query("q(x) :- attends(x, y)"))),
+        ),
+    )
+    assert evaluate_eql(query, tbox, extents) == {(ada,)}
+
+
+def test_unsafe_negation_rejected(setting):
+    tbox, extents = setting
+    bare = EqlQuery([x], EqlNot(KAtom(parse_query("q(x) :- Student(x)"))))
+    with pytest.raises(ReproError):
+        evaluate_eql(bare, tbox, extents)
+    unbound = EqlQuery(
+        [x],
+        EqlAnd(
+            KAtom(parse_query("q(x) :- Lecturer(x)")),
+            EqlNot(KAtom(parse_query("q(y) :- Student(y)"))),
+        ),
+    )
+    with pytest.raises(ReproError):
+        evaluate_eql(unbound, tbox, extents)
+
+
+def test_disjunction(setting):
+    tbox, extents = setting
+    query = EqlQuery(
+        [x],
+        EqlOr(
+            KAtom(parse_query("q(x) :- Lecturer(x)")),
+            KAtom(parse_query("q(x) :- GradStudent(x)")),
+        ),
+    )
+    assert evaluate_eql(query, tbox, extents) == {(ada,), (carol,)}
+
+
+def test_or_requires_matching_variables(setting):
+    tbox, extents = setting
+    with pytest.raises(ReproError):
+        evaluate_eql(
+            EqlQuery(
+                [x],
+                EqlOr(
+                    KAtom(parse_query("q(x) :- Student(x)")),
+                    KAtom(parse_query("q(x, y) :- attends(x, y)")),
+                ),
+            ),
+            tbox,
+            extents,
+        )
+
+
+def test_exists_projection(setting):
+    tbox, extents = setting
+    query = EqlQuery(
+        [x],
+        EqlExists([y], KAtom(parse_query("q(x, y) :- attends(x, y)"))),
+    )
+    assert evaluate_eql(query, tbox, extents) == {(bob,)}
+
+
+def test_answer_vars_must_be_free(setting):
+    with pytest.raises(Exception):
+        EqlQuery([x, y], KAtom(parse_query("q(x) :- Student(x)")))
+
+
+def test_obda_system_integration(setting):
+    tbox, _ = setting
+    abox = ABox(
+        [
+            ConceptAssertion(AtomicConcept("Student"), ada),
+            ConceptAssertion(AtomicConcept("Student"), bob),
+            RoleAssertion(AtomicRole("attends"), bob, Individual("logic")),
+        ]
+    )
+    system = OBDASystem(tbox, abox=abox)
+    query = EqlQuery(
+        [x],
+        EqlAnd(
+            KAtom(parse_query("q(x) :- Student(x)")),
+            EqlNot(KAtom(parse_query("q(x) :- attends(x, y)"))),
+        ),
+    )
+    assert system.certain_answers_eql(query) == {(ada,)}
+    with pytest.raises(ReproError):
+        system.certain_answers_eql("not an eql query")
+
+
+def test_k_atom_accepts_bare_cq(setting):
+    tbox, extents = setting
+    atom = KAtom(parse_cq("q(x) :- Person(x)"))
+    answers = evaluate_eql(EqlQuery([x], atom), tbox, extents)
+    assert answers == {(ada,), (bob,), (carol,)}
+
+
+def test_epistemic_distinction_k_exists_vs_exists_k():
+    """``NOT K(∃y P(x,y))`` vs ``NOT ∃y K(P(x,y))`` — the classic EQL
+    separation: the TBox guarantees a successor (so the first is empty),
+    but no concrete successor is known (so the second is not)."""
+    tbox = parse_tbox(
+        """
+        role subscribes
+        Customer isa exists subscribes
+        """
+    )
+    abox = ABox([ConceptAssertion(AtomicConcept("Customer"), ada)])
+    extents = ABoxExtents(abox)
+    customer = KAtom(parse_query("q(x) :- Customer(x)"))
+    some_unknown = EqlQuery(
+        [x],
+        EqlAnd(customer, EqlNot(KAtom(parse_query("q(x) :- subscribes(x, y)")))),
+    )
+    which_unknown = EqlQuery(
+        [x],
+        EqlAnd(
+            customer,
+            EqlNot(EqlExists([y], KAtom(parse_query("q(x, y) :- subscribes(x, y)")))),
+        ),
+    )
+    assert evaluate_eql(some_unknown, tbox, extents) == set()
+    assert evaluate_eql(which_unknown, tbox, extents) == {(ada,)}

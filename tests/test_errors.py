@@ -1,0 +1,49 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DiagramError,
+    InconsistentOntology,
+    LanguageViolation,
+    MappingError,
+    ReproError,
+    SyntaxError_,
+    TimeoutExceeded,
+    UnknownPredicate,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error_type in (
+        SyntaxError_,
+        LanguageViolation,
+        UnknownPredicate,
+        InconsistentOntology,
+        MappingError,
+        TimeoutExceeded,
+        DiagramError,
+    ):
+        assert issubclass(error_type, ReproError)
+
+
+def test_syntax_error_position_rendering():
+    error = SyntaxError_("bad token", "A isa B", 2)
+    assert "position 2" in str(error)
+    assert error.text == "A isa B"
+    plain = SyntaxError_("bad token")
+    assert "position" not in str(plain)
+
+
+def test_timeout_carries_budget():
+    error = TimeoutExceeded(30.0, 31.5)
+    assert error.budget_s == 30.0
+    assert error.elapsed_s == 31.5
+    assert "30.0s" in str(error)
+
+
+def test_one_except_catches_the_pipeline():
+    from repro.dllite import parse_tbox
+
+    with pytest.raises(ReproError):
+        parse_tbox("A isa isa B")

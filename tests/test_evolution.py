@@ -1,0 +1,87 @@
+"""Unit tests for TBox version diffing."""
+
+from repro.dllite import AtomicConcept, parse_axiom, parse_tbox
+from repro.evolution import diff_tboxes, render_diff
+
+V1 = """
+role teaches
+Professor isa Teacher
+Teacher isa Person
+exists teaches isa Teacher
+"""
+
+
+def test_identical_versions():
+    diff = diff_tboxes(parse_tbox(V1, name="v1"), parse_tbox(V1, name="v2"))
+    assert diff.is_syntactically_identical
+    assert diff.is_logically_equivalent
+    assert diff.is_safe_extension
+
+
+def test_pure_addition_is_safe():
+    v2 = parse_tbox(V1 + "\nLecturer isa Teacher", name="v2")
+    diff = diff_tboxes(parse_tbox(V1, name="v1"), v2)
+    assert not diff.is_syntactically_identical
+    assert diff.is_safe_extension
+    assert parse_axiom("Lecturer isa Teacher") in diff.added_axioms
+    assert AtomicConcept("Lecturer") in diff.added_predicates
+    # the new consequence involves a new predicate, so the *shared-signature*
+    # consequences are unchanged
+    assert diff.is_logically_equivalent
+
+
+def test_gained_consequence_over_shared_signature():
+    v2 = parse_tbox(V1 + "\nTeacher isa Employee\nconcept Employee", name="v2")
+    v1 = parse_tbox(V1 + "\nconcept Employee", name="v1")
+    diff = diff_tboxes(v1, v2)
+    assert parse_axiom("Professor isa Employee") in diff.gained_subsumptions
+    assert diff.is_safe_extension
+    assert not diff.is_logically_equivalent
+
+
+def test_lost_consequence_is_breaking():
+    v1 = parse_tbox(V1, name="v1")
+    v2 = parse_tbox(
+        """
+        role teaches
+        Professor isa Teacher
+        exists teaches isa Teacher
+        """,
+        name="v2",
+    )
+    v2.declare(AtomicConcept("Person"))
+    diff = diff_tboxes(v1, v2)
+    assert parse_axiom("Teacher isa Person") in diff.lost_subsumptions
+    assert parse_axiom("Professor isa Person") in diff.lost_subsumptions
+    assert not diff.is_safe_extension
+
+
+def test_unsatisfiability_regression_detected():
+    v1 = parse_tbox("Apprentice isa Student\nApprentice isa Employee", name="v1")
+    v2 = parse_tbox(
+        "Apprentice isa Student\nApprentice isa Employee\nStudent isa not Employee",
+        name="v2",
+    )
+    diff = diff_tboxes(v1, v2)
+    assert AtomicConcept("Apprentice") in diff.became_unsatisfiable
+    assert not diff.is_safe_extension
+    # and the repair is visible in the other direction
+    back = diff_tboxes(v2, v1)
+    assert AtomicConcept("Apprentice") in back.repaired_unsatisfiable
+
+
+def test_render_diff_report():
+    v1 = parse_tbox(V1, name="v1")
+    v2 = parse_tbox(V1 + "\nTeacher isa Employee", name="v2")
+    report = render_diff(diff_tboxes(v1, v2))
+    assert report.startswith("# Changes: v1 → v2")
+    assert "Axioms added" in report
+    assert "Teacher ⊑ Employee" in report
+    assert "Safe extension" in report or "logically equivalent" in report
+
+
+def test_render_breaking_change_warning():
+    v1 = parse_tbox("A isa B", name="v1")
+    v2 = parse_tbox("concept A, B", name="v2")
+    report = render_diff(diff_tboxes(v1, v2))
+    assert "BREAKING" in report

@@ -1,0 +1,137 @@
+"""Unit tests for the logical-implication service."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.saturation import Saturation
+from repro.core import ImplicationChecker, entails_without_closure
+from repro.dllite import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    ExistentialRole,
+    InverseRole,
+    NegatedConcept,
+    NegatedRole,
+    QualifiedExistential,
+    RoleInclusion,
+    negate,
+    parse_axiom,
+    parse_tbox,
+)
+from tests.conftest import make_random_tbox
+
+
+def checker_for(text):
+    return ImplicationChecker.for_tbox(parse_tbox(text))
+
+
+def test_positive_basic_inclusions(county_tbox):
+    checker = ImplicationChecker.for_tbox(county_tbox)
+    assert checker.entails(parse_axiom("Municipality isa County"))
+    assert checker.entails(parse_axiom("Municipality isa exists isPartOf"))
+    assert checker.entails(parse_axiom("Municipality isa exists locatedIn"))
+    assert not checker.entails(parse_axiom("County isa Municipality"))
+
+
+def test_qualified_entailments(county_tbox):
+    checker = ImplicationChecker.for_tbox(county_tbox)
+    assert checker.entails(parse_axiom("County isa exists isPartOf . State"))
+    assert checker.entails(parse_axiom("Municipality isa exists locatedIn . State"))
+    assert checker.entails(parse_axiom("State isa exists locatedIn^- . County"))
+    assert not checker.entails(parse_axiom("State isa exists isPartOf . County"))
+
+
+def test_negative_entailments(county_tbox):
+    checker = ImplicationChecker.for_tbox(county_tbox)
+    assert checker.entails(parse_axiom("Municipality isa not State"))
+    assert checker.entails(parse_axiom("State isa not Municipality"))
+    assert not checker.entails(parse_axiom("County isa not Municipality"))
+
+
+def test_role_entailments(county_tbox):
+    checker = ImplicationChecker.for_tbox(county_tbox)
+    is_part_of, located_in = AtomicRole("isPartOf"), AtomicRole("locatedIn")
+    assert checker.entails(RoleInclusion(is_part_of, located_in))
+    assert checker.entails(parse_axiom("isPartOf^- isa locatedIn^-"))
+    assert not checker.entails(RoleInclusion(located_in, is_part_of))
+
+
+def test_unknown_predicates_behave():
+    checker = checker_for("A isa B")
+    ghost = AtomicConcept("Ghost")
+    assert checker.entails(ConceptInclusion(ghost, ghost))
+    assert not checker.entails(ConceptInclusion(ghost, AtomicConcept("A")))
+    assert not checker.entails(ConceptInclusion(AtomicConcept("A"), ghost))
+
+
+def test_unsat_lhs_entails_everything():
+    checker = checker_for("Dead isa X\nDead isa Y\nX isa not Y\nconcept Z\nrole P")
+    dead = AtomicConcept("Dead")
+    assert checker.entails(ConceptInclusion(dead, AtomicConcept("Z")))
+    assert checker.entails(
+        ConceptInclusion(dead, QualifiedExistential(AtomicRole("P"), AtomicConcept("Z")))
+    )
+    assert checker.entails(ConceptInclusion(dead, NegatedConcept(dead)))
+
+
+def test_domain_disjointness_gives_role_disjointness():
+    checker = checker_for(
+        "role P, R\nexists P isa X\nexists R isa Y\nX isa not Y"
+    )
+    P, R = AtomicRole("P"), AtomicRole("R")
+    assert checker.entails(RoleInclusion(P, NegatedRole(R)))
+    assert checker.entails(RoleInclusion(InverseRole(P), NegatedRole(InverseRole(R))))
+
+
+def test_entails_without_closure_matches_checker():
+    rng = random.Random(5)
+    for _ in range(20):
+        tbox = make_random_tbox(rng, n_concepts=3, n_roles=1, n_axioms=6)
+        checker = ImplicationChecker.for_tbox(tbox)
+        concepts = [AtomicConcept(f"C{i}") for i in range(3)]
+        basics = concepts + [
+            ExistentialRole(AtomicRole("P0")),
+            ExistentialRole(InverseRole(AtomicRole("P0"))),
+        ]
+        for lhs, rhs in itertools.product(basics, basics):
+            axiom = ConceptInclusion(lhs, rhs)
+            assert entails_without_closure(tbox, axiom) == checker.entails(axiom)
+
+
+def test_doctest_example():
+    checker = ImplicationChecker.for_tbox(parse_tbox("A isa B\nB isa C"))
+    assert checker.entails(parse_axiom("A isa C"))
+    assert not checker.entails(parse_axiom("C isa A"))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_agrees_with_saturation_on_all_shapes(seed):
+    tbox = make_random_tbox(random.Random(seed), n_concepts=3, n_roles=2, n_axioms=7)
+    checker = ImplicationChecker.for_tbox(tbox)
+    saturation = Saturation(tbox)
+    concepts = [AtomicConcept(f"C{i}") for i in range(3)]
+    roles = [AtomicRole(f"P{i}") for i in range(2)]
+    basic_roles = roles + [InverseRole(r) for r in roles]
+    basics = concepts + [ExistentialRole(q) for q in basic_roles]
+    for lhs, rhs in itertools.product(basics, repeat=2):
+        axiom = ConceptInclusion(lhs, rhs)
+        assert checker.entails(axiom) == saturation.entails_pair(lhs, rhs), axiom
+        negative = ConceptInclusion(lhs, negate(rhs))
+        assert checker.entails(negative) == saturation.entails_negative(lhs, rhs), negative
+    for lhs in basics:
+        for role in basic_roles:
+            for filler in concepts:
+                axiom = ConceptInclusion(lhs, QualifiedExistential(role, filler))
+                assert checker.entails(axiom) == saturation.entails_qualified(
+                    lhs, role, filler
+                ), axiom
+    for first, second in itertools.product(basic_roles, repeat=2):
+        axiom = RoleInclusion(first, second)
+        assert checker.entails(axiom) == saturation.entails_pair(first, second), axiom
+        negative = RoleInclusion(first, NegatedRole(second))
+        assert checker.entails(negative) == saturation.entails_negative(
+            first, second
+        ), negative

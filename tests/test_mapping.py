@@ -1,0 +1,108 @@
+"""Unit tests for the mapping layer."""
+
+import pytest
+
+from repro.dllite import (
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeAssertion,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+)
+from repro.errors import MappingError
+from repro.obda import Database, MappingAssertion, MappingCollection, TargetAtom
+from repro.obda.mapping import IriTemplate, ValueColumn
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "emp", ["pid", "dept", "wage"], [(1, "cs", 100), (2, "math", 90)]
+    )
+    return database
+
+
+def professor_mapping():
+    return MappingAssertion(
+        "SELECT pid, dept, wage FROM emp",
+        [
+            TargetAtom(AtomicConcept("Professor"), (IriTemplate("person/{pid}"),)),
+            TargetAtom(
+                AtomicRole("worksFor"),
+                (IriTemplate("person/{pid}"), IriTemplate("dept/{dept}")),
+            ),
+            TargetAtom(
+                AtomicAttribute("salary"),
+                (IriTemplate("person/{pid}"), ValueColumn("wage")),
+            ),
+        ],
+        identifier="m_prof",
+    )
+
+
+def test_template_placeholders():
+    template = IriTemplate("a/{x}/b/{y}")
+    assert template.placeholders == ("x", "y")
+    assert template.apply({"x": 1, "y": "q"}) == Individual("a/1/b/q")
+    with pytest.raises(MappingError):
+        template.apply({"x": 1})
+
+
+def test_target_atom_arity_validation():
+    with pytest.raises(MappingError):
+        TargetAtom(AtomicConcept("A"), (IriTemplate("a/{x}"), IriTemplate("b/{y}")))
+    with pytest.raises(MappingError):
+        TargetAtom(AtomicRole("P"), (IriTemplate("a/{x}"),))
+    with pytest.raises(MappingError):
+        TargetAtom(AtomicRole("P"), (IriTemplate("a/{x}"), ValueColumn("v")))
+    with pytest.raises(MappingError):
+        TargetAtom(AtomicAttribute("u"), (ValueColumn("v"), ValueColumn("w")))
+
+
+def test_mapping_needs_targets():
+    with pytest.raises(MappingError):
+        MappingAssertion("SELECT pid FROM emp", [])
+
+
+def test_materialize_builds_virtual_abox(db):
+    mappings = MappingCollection([professor_mapping()])
+    abox = mappings.materialize(db)
+    ada = Individual("person/1")
+    assert ConceptAssertion(AtomicConcept("Professor"), ada) in abox
+    assert RoleAssertion(AtomicRole("worksFor"), ada, Individual("dept/cs")) in abox
+    assert AttributeAssertion(AtomicAttribute("salary"), ada, 100) in abox
+    assert len(abox) == 6
+
+
+def test_predicate_extent(db):
+    mappings = MappingCollection([professor_mapping()])
+    extent = mappings.predicate_extent(db, "worksFor")
+    assert (Individual("person/2"), Individual("dept/math")) in extent
+    assert mappings.predicate_extent(db, "Unmapped") == set()
+
+
+def test_multiple_mappings_union(db):
+    other = MappingAssertion(
+        "SELECT pid FROM emp WHERE wage = 100",
+        [TargetAtom(AtomicConcept("TopEarner"), (IriTemplate("person/{pid}"),))],
+    )
+    mappings = MappingCollection([professor_mapping(), other])
+    assert mappings.mapped_predicates() == {
+        "Professor",
+        "worksFor",
+        "salary",
+        "TopEarner",
+    }
+    assert mappings.predicate_extent(db, "TopEarner") == {(Individual("person/1"),)}
+
+
+def test_missing_source_column_raises(db):
+    bad = MappingAssertion(
+        "SELECT pid FROM emp",
+        [TargetAtom(AtomicConcept("A"), (IriTemplate("x/{nope}"),))],
+    )
+    with pytest.raises(MappingError):
+        MappingCollection([bad]).predicate_extent(db, "A")

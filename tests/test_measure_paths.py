@@ -1,0 +1,49 @@
+"""The benchmark path (measure) must agree with the materializing path."""
+
+import pytest
+
+from repro.baselines import REASONER_FACTORIES, make_reasoner
+from repro.corpus import load_profile
+
+
+@pytest.fixture(scope="module")
+def tbox():
+    return load_profile("Transportation", scale=0.2)
+
+
+@pytest.mark.parametrize("engine", sorted(REASONER_FACTORIES))
+def test_measure_equals_materialized_count(engine, tbox):
+    reasoner = make_reasoner(engine)
+    counted = reasoner.measure(tbox)
+    materialized = make_reasoner(engine).classify_named(tbox)
+    # measure() counts subsumptions including those implied by unsat lhs,
+    # exactly what classify_named materializes
+    assert counted == len(materialized)
+
+
+def test_measure_on_unsat_heavy_ontology():
+    from repro.dllite import parse_tbox
+
+    tbox = parse_tbox(
+        """
+        Dead isa A
+        Dead isa B
+        A isa not B
+        Sub isa Dead
+        concept Other
+        """
+    )
+    for engine in ("quonto-graph", "tableau-memoized", "tableau-dense", "saturation"):
+        reasoner = make_reasoner(engine)
+        assert reasoner.measure(tbox) == len(
+            make_reasoner(engine).classify_named(tbox)
+        ), engine
+
+
+def test_owlfs_import_statements_ignored():
+    from repro.dllite import parse_owl_functional
+
+    ontology = parse_owl_functional(
+        "Ontology(<http://x> Import(<http://other/onto>) SubClassOf(:A :B))"
+    )
+    assert len(ontology.tbox) == 1

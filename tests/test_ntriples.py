@@ -1,0 +1,81 @@
+"""Unit tests for N-Triples ABox interchange."""
+
+import pytest
+
+from repro.dllite import (
+    ABox,
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeAssertion,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+    parse_tbox,
+)
+from repro.dllite.ntriples import parse_ntriples, serialize_ntriples
+from repro.errors import SyntaxError_
+
+ada, logic = Individual("ada"), Individual("logic")
+
+
+@pytest.fixture
+def abox():
+    return ABox(
+        [
+            ConceptAssertion(AtomicConcept("Professor"), ada),
+            RoleAssertion(AtomicRole("teaches"), ada, logic),
+            AttributeAssertion(AtomicAttribute("salary"), ada, 100),
+            AttributeAssertion(AtomicAttribute("nickname"), ada, 'the "countess"'),
+            AttributeAssertion(AtomicAttribute("rating"), ada, 4.5),
+            AttributeAssertion(AtomicAttribute("tenured"), ada, True),
+        ]
+    )
+
+
+def test_round_trip_preserves_assertions(abox):
+    text = serialize_ntriples(abox)
+    assert set(parse_ntriples(text)) == set(abox)
+
+
+def test_serialization_shape(abox):
+    text = serialize_ntriples(abox)
+    assert (
+        "<http://repro.example.org/data/ada> "
+        "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+        "<http://repro.example.org/onto#Professor> ." in text
+    )
+    assert '"100"^^<http://www.w3.org/2001/XMLSchema#integer>' in text
+    assert '"true"^^<http://www.w3.org/2001/XMLSchema#boolean>' in text
+    assert '\\"countess\\"' in text
+
+
+def test_custom_namespaces(abox):
+    text = serialize_ntriples(
+        abox, data_namespace="urn:d:", onto_namespace="urn:o:"
+    )
+    assert "<urn:d:ada>" in text and "<urn:o:teaches>" in text
+    assert set(parse_ntriples(text)) == set(abox)
+
+
+def test_comments_and_blanks_skipped():
+    abox = parse_ntriples("\n# comment\n")
+    assert len(abox) == 0
+
+
+def test_bad_line_rejected():
+    with pytest.raises(SyntaxError_):
+        parse_ntriples("<a> <b> .")
+
+
+def test_tbox_signature_disambiguates_iri_valued_attributes():
+    # an attribute whose value happens to be serialized as an IRI upstream
+    text = (
+        "<http://d/ada> <http://o#homepage> <http://pages/ada> .\n"
+    )
+    tbox = parse_tbox("attribute homepage\nconcept Person")
+    abox = parse_ntriples(text, tbox)
+    assertion = next(iter(abox))
+    assert isinstance(assertion, AttributeAssertion)
+    without = parse_ntriples(text)
+    assert isinstance(next(iter(without)), RoleAssertion)

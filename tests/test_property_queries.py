@@ -1,0 +1,127 @@
+"""Property-based tests for the query layer and relational algebra."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.obda import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    UnionQuery,
+    Variable,
+    homomorphism_exists,
+    minimize_ucq,
+)
+from repro.obda.evaluation import ABoxExtents, evaluate_cq, evaluate_ucq
+from repro.dllite import ABox, AtomicConcept, AtomicRole, ConceptAssertion, Individual, RoleAssertion
+
+VARS = [Variable(name) for name in "xyzw"]
+CONSTS = [Constant("a"), Constant("b")]
+UNARY = ["A", "B"]
+BINARY = ["P", "R"]
+
+terms_st = st.sampled_from(VARS + CONSTS)
+unary_atom_st = st.builds(
+    lambda p, t: Atom(p, (t,)), st.sampled_from(UNARY), terms_st
+)
+binary_atom_st = st.builds(
+    lambda p, s, o: Atom(p, (s, o)), st.sampled_from(BINARY), terms_st, terms_st
+)
+atom_st = st.one_of(unary_atom_st, binary_atom_st)
+
+
+@st.composite
+def cq_st(draw, max_atoms=4):
+    atoms = draw(st.lists(atom_st, min_size=1, max_size=max_atoms))
+    variables = sorted(
+        {t for a in atoms for t in a.args if isinstance(t, Variable)},
+        key=lambda v: v.name,
+    )
+    answer_count = draw(st.integers(0, min(2, len(variables))))
+    return ConjunctiveQuery(tuple(variables[:answer_count]), atoms)
+
+
+_settings = settings(
+    max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@given(cq_st())
+@_settings
+def test_homomorphism_is_reflexive(cq):
+    assert homomorphism_exists(cq, cq)
+
+
+@given(cq_st(), cq_st(), cq_st())
+@_settings
+def test_homomorphism_is_transitive(first, second, third):
+    if homomorphism_exists(first, second) and homomorphism_exists(second, third):
+        assert homomorphism_exists(first, third)
+
+
+@st.composite
+def abox_st(draw):
+    abox = ABox()
+    individuals = [Individual(n) for n in "ab"]
+    for _ in range(draw(st.integers(0, 8))):
+        if draw(st.booleans()):
+            abox.add(
+                ConceptAssertion(
+                    AtomicConcept(draw(st.sampled_from(UNARY))),
+                    draw(st.sampled_from(individuals)),
+                )
+            )
+        else:
+            abox.add(
+                RoleAssertion(
+                    AtomicRole(draw(st.sampled_from(BINARY))),
+                    draw(st.sampled_from(individuals)),
+                    draw(st.sampled_from(individuals)),
+                )
+            )
+    return abox
+
+
+def _fix_constants(cq: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Constants 'a'/'b' line up with the ABox individuals by string value."""
+    return cq
+
+
+@given(cq_st(), cq_st(), abox_st())
+@_settings
+def test_homomorphism_implies_answer_containment(general, specific, abox):
+    """If general → specific has a homomorphism, every answer of specific
+    is an answer of general (the semantic meaning of containment)."""
+    if len(general.answer_vars) != len(specific.answer_vars):
+        return
+    if not homomorphism_exists(general, specific):
+        return
+    extents = ABoxExtents(abox)
+    specific_answers = {
+        tuple(str(v) for v in row) for row in evaluate_cq(specific, extents)
+    }
+    general_answers = {
+        tuple(str(v) for v in row) for row in evaluate_cq(general, extents)
+    }
+    assert specific_answers <= general_answers
+
+
+@given(st.lists(cq_st(max_atoms=3), min_size=1, max_size=4), abox_st())
+@_settings
+def test_minimization_preserves_answers(disjuncts, abox):
+    arity = disjuncts[0].arity
+    aligned = [cq for cq in disjuncts if cq.arity == arity]
+    ucq = UnionQuery(aligned)
+    minimized = minimize_ucq(ucq)
+    assert len(minimized) <= len(ucq)
+    extents = ABoxExtents(abox)
+    assert evaluate_ucq(minimized, extents) == evaluate_ucq(ucq, extents)
+
+
+@given(cq_st(), abox_st())
+@_settings
+def test_evaluation_answers_have_query_arity(cq, abox):
+    for answer in evaluate_cq(cq, ABoxExtents(abox)):
+        assert len(answer) == cq.arity

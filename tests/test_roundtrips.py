@@ -1,0 +1,48 @@
+"""Serialization round-trips at corpus scale (cross-format integration)."""
+
+import pytest
+
+from repro.corpus import load_profile
+from repro.core import classify
+from repro.dllite import (
+    parse_owl_functional,
+    parse_tbox,
+    serialize_owl_functional,
+    serialize_tbox,
+)
+from repro.graphical import diagram_to_tbox, tbox_to_diagram
+
+
+@pytest.fixture(scope="module")
+def corpus_tbox():
+    return load_profile("Transportation", scale=0.3)
+
+
+def test_textual_round_trip_at_scale(corpus_tbox):
+    reparsed = parse_tbox(serialize_tbox(corpus_tbox))
+    assert set(reparsed.axioms) == set(corpus_tbox.axioms)
+    assert reparsed.signature == corpus_tbox.signature
+
+
+def test_owlfs_round_trip_at_scale(corpus_tbox):
+    reparsed = parse_owl_functional(serialize_owl_functional(corpus_tbox)).tbox
+    assert set(reparsed.axioms) == set(corpus_tbox.axioms)
+    assert reparsed.signature == corpus_tbox.signature
+
+
+def test_diagram_round_trip_at_scale(corpus_tbox):
+    regenerated = diagram_to_tbox(tbox_to_diagram(corpus_tbox))
+    assert set(regenerated.axioms) == set(corpus_tbox.axioms)
+
+
+def test_round_trips_preserve_classification(corpus_tbox):
+    baseline = set(classify(corpus_tbox).subsumptions(named_only=True))
+    via_owl = parse_owl_functional(serialize_owl_functional(corpus_tbox)).tbox
+    assert set(classify(via_owl).subsumptions(named_only=True)) == baseline
+
+
+def test_documentation_generates_at_scale(corpus_tbox):
+    from repro.docs import generate_documentation
+
+    text = generate_documentation(corpus_tbox)
+    assert text.count("###") >= len(corpus_tbox.signature.concepts)

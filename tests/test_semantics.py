@@ -1,0 +1,90 @@
+"""Unit tests for the finite-model semantics oracle."""
+
+from repro.dllite import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    ExistentialRole,
+    InverseRole,
+    NegatedConcept,
+    QualifiedExistential,
+    RoleInclusion,
+    TBox,
+    entails,
+    find_countermodel,
+    parse_axiom,
+    parse_tbox,
+)
+from repro.dllite.semantics import Interpretation, is_satisfiable_concept
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+P = AtomicRole("P")
+
+
+def test_interpretation_concept_extensions():
+    interpretation = Interpretation(
+        2,
+        concepts={A: frozenset({0})},
+        roles={P: frozenset({(0, 1)})},
+    )
+    assert interpretation.concept_ext(A) == {0}
+    assert interpretation.concept_ext(ExistentialRole(P)) == {0}
+    assert interpretation.concept_ext(ExistentialRole(InverseRole(P))) == {1}
+    assert interpretation.concept_ext(NegatedConcept(A)) == {1}
+    assert interpretation.concept_ext(QualifiedExistential(P, A)) == set()
+
+
+def test_satisfies_inclusions():
+    interpretation = Interpretation(
+        2,
+        concepts={A: frozenset({0}), B: frozenset({0, 1})},
+        roles={P: frozenset({(0, 1)})},
+    )
+    assert interpretation.satisfies(ConceptInclusion(A, B))
+    assert not interpretation.satisfies(ConceptInclusion(B, A))
+    assert interpretation.satisfies(ConceptInclusion(ExistentialRole(P), A))
+
+
+def test_entails_transitivity():
+    tbox = parse_tbox("A isa B\nB isa C")
+    assert entails(tbox, parse_axiom("A isa C"))
+    assert not entails(tbox, parse_axiom("C isa A"))
+
+
+def test_entails_role_chain_to_existential():
+    tbox = parse_tbox("A isa exists P\nP isa R")
+    assert entails(tbox, parse_axiom("A isa exists R"))
+    assert not entails(tbox, parse_axiom("A isa exists R^-"))
+
+
+def test_countermodel_is_a_real_countermodel():
+    tbox = parse_tbox("A isa B")
+    axiom = parse_axiom("B isa A")
+    model = find_countermodel(tbox, axiom)
+    assert model is not None
+    assert model.is_model_of(tbox)
+    assert not model.satisfies(axiom)
+
+
+def test_unsatisfiable_concept_detected():
+    tbox = parse_tbox("A isa B\nA isa not B")
+    assert not is_satisfiable_concept(tbox, A)
+    assert is_satisfiable_concept(tbox, B)
+
+
+def test_negative_inclusion_entailment():
+    tbox = parse_tbox("A isa B\nB isa not C")
+    assert entails(tbox, parse_axiom("A isa not C"))
+    assert entails(tbox, parse_axiom("C isa not A"))
+    assert not entails(tbox, parse_axiom("A isa not B"))
+
+
+def test_functionality_semantics():
+    tbox = parse_tbox("funct P")
+    interpretation = Interpretation(
+        2, concepts={}, roles={P: frozenset({(0, 0), (0, 1)})}
+    )
+    axiom = next(iter(tbox))
+    assert not interpretation.satisfies(axiom)
+    ok = Interpretation(2, concepts={}, roles={P: frozenset({(0, 1)})})
+    assert ok.satisfies(axiom)

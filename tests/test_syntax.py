@@ -1,0 +1,114 @@
+"""Unit tests for DL-Lite expressions (repro.dllite.syntax)."""
+
+import pytest
+
+from repro.dllite.syntax import (
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeDomain,
+    ExistentialRole,
+    InverseRole,
+    NegatedAttribute,
+    NegatedConcept,
+    NegatedRole,
+    QualifiedExistential,
+    exists,
+    inverse_of,
+    is_basic_concept,
+    is_basic_role,
+    is_general_concept,
+    is_general_role,
+    negate,
+    to_ascii,
+)
+
+
+def test_expression_equality_is_structural():
+    assert AtomicConcept("A") == AtomicConcept("A")
+    assert AtomicConcept("A") != AtomicConcept("B")
+    assert ExistentialRole(AtomicRole("P")) == ExistentialRole(AtomicRole("P"))
+    assert InverseRole(AtomicRole("P")) != AtomicRole("P")
+
+
+def test_expressions_are_hashable_value_objects():
+    seen = {AtomicConcept("A"), AtomicConcept("A"), ExistentialRole(AtomicRole("P"))}
+    assert len(seen) == 2
+
+
+def test_inverse_of_is_involutive():
+    role = AtomicRole("P")
+    assert inverse_of(role) == InverseRole(role)
+    assert inverse_of(inverse_of(role)) == role
+
+
+def test_inverse_of_rejects_non_roles():
+    with pytest.raises(TypeError):
+        inverse_of(AtomicConcept("A"))
+
+
+def test_exists_builds_unqualified_and_qualified():
+    role = AtomicRole("P")
+    assert exists(role) == ExistentialRole(role)
+    assert exists(role, AtomicConcept("A")) == QualifiedExistential(
+        role, AtomicConcept("A")
+    )
+
+
+def test_negate_is_involutive_per_sort():
+    concept = AtomicConcept("A")
+    role = AtomicRole("P")
+    attribute = AtomicAttribute("u")
+    assert negate(concept) == NegatedConcept(concept)
+    assert negate(negate(concept)) == concept
+    assert negate(role) == NegatedRole(role)
+    assert negate(negate(role)) == role
+    assert negate(attribute) == NegatedAttribute(attribute)
+    assert negate(negate(attribute)) == attribute
+
+
+def test_negate_rejects_qualified_existential():
+    with pytest.raises(TypeError):
+        negate(QualifiedExistential(AtomicRole("P"), AtomicConcept("A")))
+
+
+def test_str_uses_dl_notation():
+    expr = QualifiedExistential(InverseRole(AtomicRole("isPartOf")), AtomicConcept("County"))
+    assert str(expr) == "∃isPartOf⁻.County"
+    assert str(NegatedConcept(AtomicConcept("State"))) == "¬State"
+    assert str(AttributeDomain(AtomicAttribute("salary"))) == "δ(salary)"
+
+
+def test_to_ascii_round_trip_forms():
+    assert to_ascii(ExistentialRole(InverseRole(AtomicRole("P")))) == "exists P^-"
+    assert (
+        to_ascii(QualifiedExistential(AtomicRole("P"), AtomicConcept("A")))
+        == "exists P . A"
+    )
+    assert to_ascii(AttributeDomain(AtomicAttribute("u"))) == "domain(u)"
+    assert to_ascii(NegatedRole(InverseRole(AtomicRole("P")))) == "not P^-"
+
+
+def test_sort_predicates():
+    assert is_basic_concept(AtomicConcept("A"))
+    assert is_basic_concept(ExistentialRole(AtomicRole("P")))
+    assert is_basic_concept(AttributeDomain(AtomicAttribute("u")))
+    assert not is_basic_concept(NegatedConcept(AtomicConcept("A")))
+    assert is_general_concept(NegatedConcept(AtomicConcept("A")))
+    assert is_general_concept(QualifiedExistential(AtomicRole("P"), AtomicConcept("A")))
+    assert is_basic_role(InverseRole(AtomicRole("P")))
+    assert not is_basic_role(NegatedRole(AtomicRole("P")))
+    assert is_general_role(NegatedRole(AtomicRole("P")))
+    assert not is_basic_role(AtomicConcept("A"))
+
+
+def test_role_inverse_property_shortcuts():
+    role = AtomicRole("P")
+    assert role.inverse == InverseRole(role)
+    assert role.inverse.inverse == role
+    assert role.inverse.name == "P"
+
+
+def test_attribute_domain_shortcut():
+    attribute = AtomicAttribute("salary")
+    assert attribute.domain == AttributeDomain(attribute)

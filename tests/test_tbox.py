@@ -1,0 +1,124 @@
+"""Unit tests for the TBox container and Signature."""
+
+import pytest
+
+from repro.dllite import (
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    FunctionalRole,
+    NegatedConcept,
+    QualifiedExistential,
+    RoleInclusion,
+    Signature,
+    TBox,
+)
+
+A, B, C = AtomicConcept("A"), AtomicConcept("B"), AtomicConcept("C")
+P = AtomicRole("P")
+
+
+def test_add_tracks_signature_incrementally():
+    tbox = TBox()
+    tbox.add(ConceptInclusion(A, B))
+    assert A in tbox.signature and B in tbox.signature
+    assert len(tbox.signature.concepts) == 2
+    tbox.add(RoleInclusion(P, AtomicRole("R")))
+    assert len(tbox.signature.roles) == 2
+
+
+def test_add_deduplicates_and_reports():
+    tbox = TBox()
+    assert tbox.add(ConceptInclusion(A, B)) is True
+    assert tbox.add(ConceptInclusion(A, B)) is False
+    assert len(tbox) == 1
+    assert tbox.extend([ConceptInclusion(A, B), ConceptInclusion(B, C)]) == 1
+
+
+def test_declare_without_axioms():
+    tbox = TBox()
+    tbox.declare(AtomicConcept("Lonely"))
+    tbox.declare(AtomicAttribute("u"))
+    assert AtomicConcept("Lonely") in tbox.signature
+    assert len(tbox) == 0
+    with pytest.raises(TypeError):
+        tbox.declare("Lonely")
+
+
+def test_positive_and_negative_partition():
+    tbox = TBox(
+        [
+            ConceptInclusion(A, B),
+            ConceptInclusion(A, NegatedConcept(C)),
+            FunctionalRole(P),
+        ]
+    )
+    assert len(tbox.positive_inclusions) == 1
+    assert len(tbox.negative_inclusions) == 1
+    assert len(tbox.functionality_assertions) == 1
+
+
+def test_qualified_existentials_iterator():
+    qualified = ConceptInclusion(A, QualifiedExistential(P, B))
+    tbox = TBox([qualified, ConceptInclusion(A, B)])
+    found = list(tbox.qualified_existentials())
+    assert found == [(qualified, qualified.rhs)]
+
+
+def test_discard_keeps_signature():
+    axiom = ConceptInclusion(A, B)
+    tbox = TBox([axiom])
+    assert tbox.discard(axiom) is True
+    assert tbox.discard(axiom) is False
+    assert len(tbox) == 0
+    assert A in tbox.signature  # signature deliberately untouched
+
+
+def test_copy_is_independent():
+    tbox = TBox([ConceptInclusion(A, B)], name="orig")
+    clone = tbox.copy(name="clone")
+    clone.add(ConceptInclusion(B, C))
+    assert len(tbox) == 1 and len(clone) == 2
+    assert clone.name == "clone"
+
+
+def test_stats_shape(university_tbox):
+    stats = university_tbox.stats()
+    assert stats["axioms"] == len(university_tbox)
+    assert stats["roles"] == 2
+    assert stats["attributes"] == 1
+    assert stats["functionality"] == 1
+    assert stats["negative_inclusions"] == 1
+    assert (
+        stats["concept_inclusions"]
+        + stats["role_inclusions"]
+        + stats["attribute_inclusions"]
+        + stats["functionality"]
+        == stats["axioms"]
+    )
+
+
+def test_signature_iteration_is_deterministic():
+    signature = Signature(
+        concepts=[B, A, C], roles=[AtomicRole("Z"), P], attributes=[]
+    )
+    names = [item.name for item in signature]
+    assert names == ["A", "B", "C", "P", "Z"]
+
+
+def test_add_rejects_non_axiom():
+    with pytest.raises(TypeError):
+        TBox().add("A isa B")
+
+
+def test_annotations_attach_and_copy():
+    axiom = ConceptInclusion(A, B)
+    tbox = TBox([axiom])
+    tbox.annotate(axiom, "told by the domain expert")
+    assert tbox.annotation(axiom) == "told by the domain expert"
+    assert tbox.annotation(ConceptInclusion(B, C)) is None
+    clone = tbox.copy()
+    assert clone.annotation(axiom) == "told by the domain expert"
+    with pytest.raises(KeyError):
+        tbox.annotate(ConceptInclusion(B, C), "not an axiom of this TBox")

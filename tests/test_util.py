@@ -1,0 +1,45 @@
+"""Unit tests for the timing utilities."""
+
+import time
+
+import pytest
+
+from repro.errors import TimeoutExceeded
+from repro.util import Stopwatch, format_millis
+
+
+def test_stopwatch_elapsed_monotone():
+    watch = Stopwatch()
+    first = watch.elapsed_s
+    second = watch.elapsed_s
+    assert second >= first >= 0
+    assert watch.elapsed_ms >= first * 1000
+
+
+def test_stopwatch_restart():
+    watch = Stopwatch()
+    time.sleep(0.01)
+    watch.restart()
+    assert watch.elapsed_s < 0.01
+
+
+def test_budget_check():
+    watch = Stopwatch(budget_s=1000)
+    watch.check_budget()  # well within budget
+    tight = Stopwatch(budget_s=0.0)
+    time.sleep(0.001)
+    with pytest.raises(TimeoutExceeded) as info:
+        tight.check_budget()
+    assert info.value.budget_s == 0.0
+    assert info.value.elapsed_s > 0
+
+
+def test_no_budget_never_raises():
+    watch = Stopwatch()
+    watch.check_budget()
+
+
+def test_format_millis_matches_figure1_style():
+    assert format_millis(156.0) == "0.156"
+    assert format_millis(4600.0) == "4.600"
+    assert format_millis(None) == "timeout"
