@@ -27,6 +27,20 @@ from .core import (
     classify,
     deductive_closure,
 )
+from .errors import (
+    DegradedResult,
+    DiagramError,
+    InconsistentOntology,
+    LanguageViolation,
+    MappingError,
+    PermanentSourceError,
+    ReproError,
+    SourceError,
+    SyntaxError_,
+    TimeoutExceeded,
+    TransientSourceError,
+    UnknownPredicate,
+)
 from .docs import generate_documentation
 from .dllite import (
     ABox,
@@ -46,10 +60,22 @@ __version__ = "1.0.0"
 __all__ = [
     "ABox",
     "Classification",
+    "DegradedResult",
+    "DiagramError",
     "GraphClassifier",
     "ImplicationChecker",
+    "InconsistentOntology",
+    "LanguageViolation",
+    "MappingError",
     "Ontology",
+    "PermanentSourceError",
+    "ReproError",
+    "SourceError",
+    "SyntaxError_",
     "TBox",
+    "TimeoutExceeded",
+    "TransientSourceError",
+    "UnknownPredicate",
     "__version__",
     "classify",
     "deductive_closure",

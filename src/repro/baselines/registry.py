@@ -60,6 +60,15 @@ class GraphReasoner(Reasoner):
         return classification.subsumption_count(named_only=True)
 
 
+def _fallback_chain() -> Reasoner:
+    """The canonical chain: an expensive tableau engine anchored by the
+    graph classifier (the paper's pattern, see repro.runtime.fallback)."""
+    # Imported lazily: fallback depends on this module's base classes.
+    from ..runtime.fallback import FallbackChain
+
+    return FallbackChain([PairwiseTableauReasoner(), GraphReasoner()])
+
+
 REASONER_FACTORIES: Dict[str, Callable[[], Reasoner]] = {
     "quonto-graph": GraphReasoner,
     "tableau-pairwise": PairwiseTableauReasoner,
@@ -67,6 +76,7 @@ REASONER_FACTORIES: Dict[str, Callable[[], Reasoner]] = {
     "tableau-dense": DenseMatrixTableauReasoner,
     "cb-consequence": ConsequenceBasedReasoner,
     "saturation": SaturationReasoner,
+    "fallback-chain": _fallback_chain,
 }
 
 #: Figure 1 column order, mapped to engine names.

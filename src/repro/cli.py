@@ -47,9 +47,14 @@ def load_ontology_file(path: str) -> TBox:
 
 
 def _cmd_classify(args) -> int:
+    from .runtime import Budget
+
     tbox = load_ontology_file(args.ontology)
     classifier = GraphClassifier(closure_algorithm=args.closure)
-    classification = classifier.classify(tbox)
+    watch = (
+        Budget(args.budget, task=f"classify {tbox.name}") if args.budget else None
+    )
+    classification = classifier.classify(tbox, watch=watch)
     stats = tbox.stats()
     print(f"ontology:  {tbox.name}")
     print(
@@ -82,15 +87,21 @@ def _cmd_implication(args) -> int:
 
 def _cmd_rewrite(args) -> int:
     from .obda import parse_query, perfect_ref, presto_rewrite
+    from .runtime import Budget
 
     tbox = load_ontology_file(args.ontology)
     query = parse_query(args.query)
+    budget = (
+        Budget(args.budget, task=f"rewrite:{query.name or args.method}")
+        if args.budget
+        else None
+    )
     if args.method == "presto":
-        rewriting = presto_rewrite(query, tbox)
+        rewriting = presto_rewrite(query, tbox, budget=budget)
         print(f"# datalog program, size {rewriting.size} atoms")
         print(rewriting)
     else:
-        rewritten = perfect_ref(query, tbox)
+        rewritten = perfect_ref(query, tbox, budget=budget)
         print(f"# UCQ with {len(rewritten)} disjuncts")
         print(rewritten)
     return 0
@@ -194,7 +205,136 @@ def _cmd_figure1(args) -> int:
     argv = ["--budget", str(args.budget), "--scale", str(args.scale)]
     for ontology in args.ontology or []:
         argv += ["--ontology", ontology]
+    if args.fallback:
+        argv.append("--fallback")
     return figure1_main(argv)
+
+
+def _demo_obda_system():
+    """A small self-contained OBDA system for the resilience smoke test."""
+    from .dllite import AtomicConcept, AtomicRole, parse_tbox
+    from .obda import (
+        Database,
+        IriTemplate,
+        MappingAssertion,
+        MappingCollection,
+        OBDASystem,
+        TargetAtom,
+    )
+
+    tbox = parse_tbox(
+        """
+        role teaches
+        Professor isa Teacher
+        Teacher isa Person
+        Student isa Person
+        Teacher isa exists teaches
+        exists teaches isa Teacher
+        exists teaches^- isa Course
+        Student isa not Teacher
+        """
+    )
+    db = Database("campus")
+    db.create_table(
+        "staff", ["id", "role"], [(1, "prof"), (2, "prof"), (3, "lecturer")]
+    )
+    db.create_table(
+        "teaching", ["staff_id", "course"], [(1, "logic"), (2, "compilers")]
+    )
+    db.create_table("enrolled", ["sid"], [(10,), (11,)])
+    mappings = MappingCollection(
+        [
+            MappingAssertion(
+                "SELECT id FROM staff WHERE role = 'prof'",
+                [TargetAtom(AtomicConcept("Professor"), (IriTemplate("person/{id}"),))],
+            ),
+            MappingAssertion(
+                "SELECT id FROM staff WHERE role = 'lecturer'",
+                [TargetAtom(AtomicConcept("Teacher"), (IriTemplate("person/{id}"),))],
+            ),
+            MappingAssertion(
+                "SELECT staff_id, course FROM teaching",
+                [
+                    TargetAtom(
+                        AtomicRole("teaches"),
+                        (
+                            IriTemplate("person/{staff_id}"),
+                            IriTemplate("course/{course}"),
+                        ),
+                    )
+                ],
+            ),
+            MappingAssertion(
+                "SELECT sid FROM enrolled",
+                [TargetAtom(AtomicConcept("Student"), (IriTemplate("person/{sid}"),))],
+            ),
+        ]
+    )
+    return OBDASystem(tbox, mappings=mappings, database=db)
+
+
+def _cmd_resilience(args) -> int:
+    """Fault-injection smoke test over the whole OBDA pipeline.
+
+    Answers a query fault-free, then re-answers it with seeded transient
+    faults injected into the virtual-extent provider under a retry
+    policy, and finally checks that a permanent outage surfaces as a
+    typed PermanentSourceError.  Exit 0 iff the faulty run recovered the
+    fault-free answers and the outage was typed.
+    """
+    from .errors import PermanentSourceError
+    from .obda.evaluation import evaluate_ucq
+    from .obda.cq_parser import parse_query
+    from .runtime import (
+        Budget,
+        FaultInjector,
+        FaultSpec,
+        FaultyExtents,
+        RetryingExtents,
+        RetryPolicy,
+    )
+
+    system = _demo_obda_system()
+    query = parse_query(args.query)
+    budget_s = args.budget if args.budget else None
+
+    baseline = system.certain_answers(query, budget=budget_s)
+    print(f"fault-free answers: {len(baseline)}")
+
+    rewritten = system.rewrite(query)
+    injector = FaultInjector(FaultSpec(transient_rate=args.rate, seed=args.seed))
+    policy = RetryPolicy(
+        max_attempts=args.retries + 1,
+        base_delay_s=0.001,
+        seed=args.seed,
+    )
+    provider = RetryingExtents(
+        FaultyExtents(system.extents(), injector),
+        policy,
+        budget=Budget(budget_s, task="resilience:faulty run"),
+    )
+    recovered = evaluate_ucq(rewritten, provider)
+    print(
+        f"faulty run ({args.rate:.0%} transient rate, seed {args.seed}): "
+        f"{len(recovered)} answers, {injector.transients_injected} fault(s) "
+        f"injected over {injector.calls} source call(s)"
+    )
+    if recovered != baseline:
+        print("MISMATCH: faulty run lost answers", file=sys.stderr)
+        return 1
+
+    outage = FaultyExtents(
+        system.extents(), FaultInjector(FaultSpec(permanent_after=0))
+    )
+    try:
+        evaluate_ucq(rewritten, RetryingExtents(outage, policy))
+    except PermanentSourceError as error:
+        print(f"permanent outage surfaced as: {type(error).__name__}: {error}")
+    else:
+        print("MISSING: permanent outage did not raise", file=sys.stderr)
+        return 1
+    print("resilience smoke test passed")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -207,6 +347,11 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("ontology")
     classify.add_argument("--closure", default="scc_bitset")
     classify.add_argument("--list", action="store_true", help="print every subsumption")
+    classify.add_argument(
+        "--budget",
+        type=float,
+        help="abort (with a typed timeout) after this many seconds",
+    )
     classify.set_defaults(handler=_cmd_classify)
 
     implication = commands.add_parser("implication", help="decide T ⊨ α")
@@ -219,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite.add_argument("query", help='e.g. "q(x) :- Teacher(x)"')
     rewrite.add_argument(
         "--method", choices=["perfectref", "presto"], default="perfectref"
+    )
+    rewrite.add_argument(
+        "--budget",
+        type=float,
+        help="abort the (worst-case exponential) rewriting after this many seconds",
     )
     rewrite.set_defaults(handler=_cmd_rewrite)
 
@@ -259,7 +409,36 @@ def build_parser() -> argparse.ArgumentParser:
     figure1.add_argument("--budget", type=float, default=60.0)
     figure1.add_argument("--scale", type=float, default=1.0)
     figure1.add_argument("--ontology", action="append")
+    figure1.add_argument(
+        "--fallback",
+        action="store_true",
+        help="add a resilient fallback-chain column to the grid",
+    )
     figure1.set_defaults(handler=_cmd_figure1)
+
+    resilience = commands.add_parser(
+        "resilience",
+        help="fault-injection smoke test of the OBDA pipeline "
+        "(seeded transient faults + retries + typed outage)",
+    )
+    resilience.add_argument(
+        "--query",
+        default="q(x) :- Person(x)",
+        help="conjunctive query answered over the built-in demo system",
+    )
+    resilience.add_argument(
+        "--rate", type=float, default=0.3, help="transient fault probability per call"
+    )
+    resilience.add_argument(
+        "--seed", type=int, default=7, help="fault/jitter stream seed (deterministic)"
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=5, help="retry attempts per source call"
+    )
+    resilience.add_argument(
+        "--budget", type=float, help="overall time budget in seconds"
+    )
+    resilience.set_defaults(handler=_cmd_resilience)
 
     return parser
 

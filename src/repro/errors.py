@@ -7,6 +7,8 @@ still being able to distinguish the failure class when needed.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class of every exception raised by this library."""
@@ -45,15 +47,48 @@ class MappingError(ReproError):
 
 
 class TimeoutExceeded(ReproError):
-    """A reasoning task exceeded its time budget (used by the Fig. 1 harness)."""
+    """A task exceeded its time budget (Fig. 1 harness, OBDA pipeline).
 
-    def __init__(self, budget_s: float, elapsed_s: float):
+    Carries the offending task name (engine or query id) when the budget
+    that fired was named, so failure reports say *what* ran out of time.
+    """
+
+    def __init__(self, budget_s: float, elapsed_s: float, task: Optional[str] = None):
         self.budget_s = budget_s
         self.elapsed_s = elapsed_s
+        self.task = task
         super().__init__(
-            f"reasoning task exceeded its budget of {budget_s:.1f}s "
+            f"{task or 'reasoning task'} exceeded its budget of {budget_s:.1f}s "
             f"(elapsed {elapsed_s:.1f}s)"
         )
+
+
+class SourceError(ReproError):
+    """A data source failed while serving an extent, table or query."""
+
+
+class TransientSourceError(SourceError):
+    """A source failure worth retrying (lock timeout, connection blip).
+
+    The :mod:`repro.runtime` retry engine treats this class (and only
+    the classes a :class:`~repro.runtime.retry.RetryPolicy` lists as
+    retryable) as recoverable; everything else propagates immediately.
+    """
+
+
+class PermanentSourceError(SourceError):
+    """A source failure that retrying cannot fix (missing table, bad
+    credentials, or a retry policy exhausted on transient failures —
+    the attempt count and last cause are preserved via ``__cause__``)."""
+
+
+class DegradedResult(UserWarning):
+    """Warning category: a result was served in degraded mode.
+
+    Emitted by :class:`repro.runtime.fallback.FallbackChain` when the
+    answer came from a fallback engine (or from an engine documented as
+    incomplete), so callers can audit which answers are best-effort.
+    """
 
 
 class DiagramError(ReproError):

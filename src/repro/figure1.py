@@ -26,9 +26,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .baselines import FIGURE1_COLUMNS, make_reasoner
 from .corpus import FIGURE1_ORDER, load_profile
 from .errors import TimeoutExceeded
-from .util.timing import Stopwatch, format_millis
+from .runtime.budget import Budget
+from .util.timing import format_millis
 
 __all__ = ["Figure1Cell", "run_figure1", "format_table", "main"]
+
+#: Extra column enabled by ``--fallback``: the resilient chain (tableau
+#: under a budget slice, graph classifier as the anchor of last resort).
+FALLBACK_COLUMN = ("Fallback", "fallback-chain")
 
 
 @dataclass
@@ -41,11 +46,17 @@ class Figure1Cell:
     millis: Optional[float] = None
     outcome: str = "ok"  # "ok" | "timeout" | "out of memory"
     subsumptions: Optional[int] = None
+    #: Engine that actually served the result (differs from ``engine``
+    #: only for fallback chains).
+    served_by: Optional[str] = None
+    #: True when the result came from a fallback (degraded mode).
+    degraded: bool = False
 
     @property
     def rendered(self) -> str:
         if self.outcome == "ok":
-            return format_millis(self.millis)
+            suffix = "*" if self.degraded else ""
+            return format_millis(self.millis) + suffix
         return self.outcome
 
 
@@ -53,10 +64,26 @@ def run_cell(
     ontology: str, column: str, engine: str, budget_s: float, scale: float
 ) -> Figure1Cell:
     """Measure one grid cell with a fresh reasoner and a fresh TBox."""
+    import warnings
+
     tbox = load_profile(ontology, scale=scale)
     reasoner = make_reasoner(engine)
-    watch = Stopwatch(budget_s=budget_s)
+    watch = Budget(budget_s, task=f"{engine} on {ontology}")
     try:
+        if hasattr(reasoner, "classify_with_report"):
+            # Fallback chains report which engine served the result.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")  # the cell records degradation
+                report = reasoner.classify_with_report(tbox, watch=watch)
+            return Figure1Cell(
+                ontology,
+                column,
+                engine,
+                millis=watch.elapsed_ms,
+                subsumptions=len(report.classification),
+                served_by=report.served_by,
+                degraded=report.degraded,
+            )
         count = reasoner.measure(tbox, watch=watch)
     except TimeoutExceeded:
         return Figure1Cell(ontology, column, engine, outcome="timeout")
@@ -73,10 +100,18 @@ def run_figure1(
     ontologies: Optional[Sequence[str]] = None,
     columns: Optional[Sequence[Tuple[str, str]]] = None,
     verbose: bool = False,
+    fallback: bool = False,
 ) -> List[Figure1Cell]:
-    """Run the full grid; returns one cell per (ontology, reasoner)."""
+    """Run the full grid; returns one cell per (ontology, reasoner).
+
+    With ``fallback=True`` an extra column runs the resilient fallback
+    chain; degraded cells (served by a fallback engine) render with a
+    ``*`` suffix.
+    """
     ontologies = list(ontologies or FIGURE1_ORDER)
     columns = list(columns or FIGURE1_COLUMNS)
+    if fallback and FALLBACK_COLUMN not in columns:
+        columns.append(FALLBACK_COLUMN)
     cells: List[Figure1Cell] = []
     for ontology in ontologies:
         for column, engine in columns:
@@ -112,6 +147,13 @@ def format_table(cells: Sequence[Figure1Cell]) -> str:
     lines.append(
         "\nFigure 1: Classification times of OWL 2 QL ontologies (seconds)."
     )
+    degraded = [cell for cell in cells if cell.degraded and cell.outcome == "ok"]
+    if degraded:
+        served = sorted({cell.served_by for cell in degraded if cell.served_by})
+        lines.append(
+            f"*: degraded — result served by a fallback engine "
+            f"({', '.join(served)})."
+        )
     return "\n".join(lines)
 
 
@@ -135,6 +177,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="append",
         help="restrict to specific rows (repeatable)",
     )
+    parser.add_argument(
+        "--fallback",
+        action="store_true",
+        help="add a column running the resilient fallback chain "
+        "(tableau under a budget slice, graph classifier as anchor)",
+    )
     args = parser.parse_args(argv)
     print(
         f"Running the Figure 1 grid (budget {args.budget:.0f}s/cell, "
@@ -146,6 +194,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         scale=args.scale,
         ontologies=args.ontology,
         verbose=True,
+        fallback=args.fallback,
     )
     print()
     print(format_table(cells))

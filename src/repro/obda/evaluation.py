@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from ..dllite.abox import ABox
 from ..dllite.syntax import AtomicAttribute, AtomicConcept, AtomicRole
+from ..runtime.budget import Budget
 from .mapping import MappingCollection
 from .queries import Atom, Constant, ConjunctiveQuery, UnionQuery, Variable
 from .sql.database import Database
@@ -112,14 +113,24 @@ class DatalogExtents(ExtentProvider):
         return result
 
 
-def evaluate_cq(cq: ConjunctiveQuery, extents: ExtentProvider) -> Set[Tuple]:
+def evaluate_cq(
+    cq: ConjunctiveQuery,
+    extents: ExtentProvider,
+    budget: Optional[Budget] = None,
+) -> Set[Tuple]:
     """All answer tuples of *cq* over *extents* (set semantics).
 
     Atoms are ordered greedily (smallest extent first, connected atoms
     preferred); each later atom is then probed through a hash index built
     on the positions its earlier neighbours bind, so joins cost
     output-size instead of cross-product.
+
+    With a *budget*, the join recursion polls it (amortized) and aborts
+    with :class:`~repro.errors.TimeoutExceeded` instead of running an
+    unbounded join to completion.
     """
+    if budget is not None:
+        budget.check()
     atom_rows = [
         (atom, extents.extent(atom.predicate, atom.arity)) for atom in cq.atoms
     ]
@@ -177,6 +188,8 @@ def evaluate_cq(cq: ConjunctiveQuery, extents: ExtentProvider) -> Set[Tuple]:
         return tuple(key)
 
     def join(depth: int, binding: Dict[Variable, object]) -> None:
+        if budget is not None:
+            budget.tick()
         if depth == len(plans):
             answers.add(tuple(binding[v] for v in cq.answer_vars))
             return
@@ -217,9 +230,15 @@ def evaluate_cq(cq: ConjunctiveQuery, extents: ExtentProvider) -> Set[Tuple]:
     return answers
 
 
-def evaluate_ucq(ucq: UnionQuery, extents: ExtentProvider) -> Set[Tuple]:
-    """Certain-answer union over all disjuncts."""
+def evaluate_ucq(
+    ucq: UnionQuery,
+    extents: ExtentProvider,
+    budget: Optional[Budget] = None,
+) -> Set[Tuple]:
+    """Certain-answer union over all disjuncts (budget polled per disjunct)."""
     answers: Set[Tuple] = set()
     for disjunct in ucq:
-        answers |= evaluate_cq(disjunct, extents)
+        if budget is not None:
+            budget.check()
+        answers |= evaluate_cq(disjunct, extents, budget=budget)
     return answers

@@ -42,6 +42,7 @@ from ...dllite.syntax import (
 )
 from ...dllite.tbox import TBox
 from ...errors import ReproError
+from ...runtime.budget import Budget
 from ..queries import (
     Atom,
     Constant,
@@ -231,11 +232,15 @@ def perfect_ref(
     tbox: TBox,
     max_disjuncts: int = 20000,
     minimize: bool = True,
+    budget: Optional["Budget"] = None,
 ) -> UnionQuery:
     """Rewrite *query* w.r.t. the positive inclusions of *tbox*.
 
     Raises :class:`RewritingTooLarge` when the disjunct set exceeds
     *max_disjuncts* — the worst-case size is exponential in query length.
+    With a *budget*, the worklist loop polls it and raises
+    :class:`~repro.errors.TimeoutExceeded` instead of grinding through
+    an exponential rewriting past its deadline.
     """
     kinds: Dict[str, str] = {}
     for concept in tbox.signature.concepts:
@@ -254,6 +259,8 @@ def perfect_ref(
             worklist.append(disjunct)
 
     while worklist:
+        if budget is not None:
+            budget.check()
         current = worklist.pop()
         produced = itertools.chain(
             _atom_rewritings(current, tbox, kinds), _reductions(current)

@@ -42,6 +42,7 @@ from ...dllite.syntax import (
     InverseRole,
 )
 from ...dllite.tbox import TBox
+from ...runtime.budget import Budget
 from ..queries import Atom, ConjunctiveQuery, UnionQuery, Variable
 from .perfectref import perfect_ref
 
@@ -139,16 +140,18 @@ def presto_rewrite(
     query: UnionQuery,
     tbox: TBox,
     classification: Optional[Classification] = None,
+    budget: Optional[Budget] = None,
 ) -> DatalogRewriting:
     """Rewrite *query* into a datalog program using the classification.
 
     The existential-elimination phase reuses the PerfectRef loop but over
     a *hierarchy-free* copy of the TBox (only axioms whose right-hand
     side is an existential/domain survive), so the UCQ growth stays
-    limited to genuine witness reasoning.
+    limited to genuine witness reasoning.  A *budget* bounds both the
+    classification (when computed here) and the rewriting phases.
     """
     if classification is None:
-        classification = GraphClassifier().classify(tbox)
+        classification = GraphClassifier().classify(tbox, watch=budget)
 
     # Phase 1 — existential elimination only.  The witness TBox contains
     # every *entailed* inclusion whose right-hand side is an existential
@@ -175,7 +178,7 @@ def presto_rewrite(
                 witness_tbox.add(_CI(node, upper))
     for axiom in qualified_inclusions(classification):
         witness_tbox.add(axiom)
-    expanded = perfect_ref(query, witness_tbox, minimize=True)
+    expanded = perfect_ref(query, witness_tbox, minimize=True, budget=budget)
 
     # Phase 2 — hierarchy as flat datalog rules.
     rules: List[DatalogRule] = []
@@ -196,6 +199,8 @@ def presto_rewrite(
         )
 
     for aux, (node, arity, of_role) in sorted(needed.items()):
+        if budget is not None:
+            budget.check()
         for subsumee in sorted(classification.subsumees(node), key=str):
             rule = _subsumee_rule(aux, arity, subsumee, of_role)
             if rule is not None:

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...dllite.abox import Individual
 from ...errors import MappingError
+from ...runtime.budget import Budget
 from ..mapping import IriTemplate, MappingCollection, ValueColumn
 from ..queries import Atom, Constant, ConjunctiveQuery, UnionQuery, Variable
 from ..sql.algebra import (
@@ -100,15 +101,21 @@ class UnfoldedQuery:
             algebra_to_sql(expression) for expression, _ in self.parts
         )
 
-    def execute(self, database: Database) -> Set[Tuple]:
+    def execute(
+        self, database: Database, budget: Optional[Budget] = None
+    ) -> Set[Tuple]:
         answers: Set[Tuple] = set()
         for expression, recipes in self.parts:
-            result = evaluate(expression, database)
+            if budget is not None:
+                budget.check()
+            result = evaluate(expression, database, budget=budget)
             positions = [
                 tuple(result.column_index(column) for column in recipe.columns)
                 for recipe in recipes
             ]
             for row in result.rows:
+                if budget is not None:
+                    budget.tick()
                 answer = []
                 for recipe, cols in zip(recipes, positions):
                     values = [row[i] for i in cols]
@@ -126,11 +133,21 @@ class UnfoldedQuery:
         return answers
 
 
-def unfold(ucq: UnionQuery, mappings: MappingCollection) -> UnfoldedQuery:
-    """Compile *ucq* into source-level algebra through *mappings*."""
+def unfold(
+    ucq: UnionQuery,
+    mappings: MappingCollection,
+    budget: Optional[Budget] = None,
+) -> UnfoldedQuery:
+    """Compile *ucq* into source-level algebra through *mappings*.
+
+    The per-disjunct mapping-combination product is worst-case
+    exponential in query length, so it polls the *budget* too.
+    """
     parts: List[Tuple[Expression, Tuple[_VarSource, ...]]] = []
     counter = itertools.count()
     for disjunct in ucq:
+        if budget is not None:
+            budget.check()
         options = []
         for atom in disjunct.atoms:
             pairs = mappings._by_predicate.get(atom.predicate, [])
@@ -141,6 +158,8 @@ def unfold(ucq: UnionQuery, mappings: MappingCollection) -> UnfoldedQuery:
         if options is None:
             continue
         for combination in itertools.product(*options):
+            if budget is not None:
+                budget.tick(stride=64)
             part = _unfold_combination(disjunct, combination, counter)
             if part is not None:
                 parts.append(part)
@@ -221,7 +240,10 @@ def _unfold_combination(disjunct: ConjunctiveQuery, combination, counter):
 
 
 def certain_answers_via_sql(
-    ucq: UnionQuery, mappings: MappingCollection, database: Database
+    ucq: UnionQuery,
+    mappings: MappingCollection,
+    database: Database,
+    budget: Optional[Budget] = None,
 ) -> Set[Tuple]:
     """Convenience: unfold and execute in one call."""
-    return unfold(ucq, mappings).execute(database)
+    return unfold(ucq, mappings, budget=budget).execute(database, budget=budget)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ...errors import MappingError
+from ...runtime.budget import Budget
 from .database import Database
 
 __all__ = [
@@ -138,19 +139,32 @@ class Rename(Expression):
     prefix: str
 
 
-def evaluate(expression: Expression, database: Database) -> ResultSet:
-    """Evaluate an algebra expression against *database*."""
+def evaluate(
+    expression: Expression,
+    database: Database,
+    budget: Optional[Budget] = None,
+) -> ResultSet:
+    """Evaluate an algebra expression against *database*.
+
+    Every operator polls the optional *budget* before materializing its
+    output, and the join loop polls it (amortized) per produced row, so
+    a runaway query aborts with a typed
+    :class:`~repro.errors.TimeoutExceeded` instead of hanging the
+    backend.
+    """
+    if budget is not None:
+        budget.check()
     if isinstance(expression, Scan):
         table = database.table(expression.table)
         prefix = expression.label
         columns = [f"{prefix}.{column}" for column in table.columns]
         return ResultSet(columns, list(table.rows))
     if isinstance(expression, Selection):
-        source = evaluate(expression.source, database)
+        source = evaluate(expression.source, database, budget)
         predicate = _compile_conditions(expression.conditions, source)
         return ResultSet(source.columns, [row for row in source.rows if predicate(row)])
     if isinstance(expression, Projection):
-        source = evaluate(expression.source, database)
+        source = evaluate(expression.source, database, budget)
         indices = [_resolve(source, column) for column in expression.columns]
         names = expression.names or tuple(
             _strip(source.columns[i]) for i in indices
@@ -159,8 +173,8 @@ def evaluate(expression: Expression, database: Database) -> ResultSet:
         result = ResultSet(names, rows)
         return result.distinct() if expression.distinct else result
     if isinstance(expression, Join):
-        left = evaluate(expression.left, database)
-        right = evaluate(expression.right, database)
+        left = evaluate(expression.left, database, budget)
+        right = evaluate(expression.right, database, budget)
         left_keys = [_resolve(left, l) for l, _ in expression.on]
         right_keys = [_resolve(right, r) for _, r in expression.on]
         index: Dict[Tuple, List[Tuple]] = {}
@@ -171,16 +185,18 @@ def evaluate(expression: Expression, database: Database) -> ResultSet:
         for row in left.rows:
             key = tuple(row[i] for i in left_keys)
             for match in index.get(key, ()):
+                if budget is not None:
+                    budget.tick()
                 rows.append(row + match)
         return ResultSet(columns, rows)
     if isinstance(expression, Rename):
-        source = evaluate(expression.source, database)
+        source = evaluate(expression.source, database, budget)
         columns = [
             f"{expression.prefix}.{_strip(column)}" for column in source.columns
         ]
         return ResultSet(columns, source.rows)
     if isinstance(expression, UnionAll):
-        parts = [evaluate(part, database) for part in expression.parts]
+        parts = [evaluate(part, database, budget) for part in expression.parts]
         width = len(parts[0].columns)
         for part in parts[1:]:
             if len(part.columns) != width:

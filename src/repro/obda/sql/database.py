@@ -59,5 +59,16 @@ class Database:
     def tables(self) -> List[Table]:
         return list(self._tables.values())
 
+    def with_retry(self, policy, budget=None) -> "Database":
+        """This database behind a :class:`repro.runtime.retry.RetryPolicy`.
+
+        Table lookups (the access path of the SQL evaluator) retry
+        transient source failures with backoff; see
+        :class:`repro.runtime.retry.RetryingDatabase`.
+        """
+        from ...runtime.retry import RetryingDatabase
+
+        return RetryingDatabase(self, policy, budget=budget)
+
     def __repr__(self) -> str:
         return f"Database({self.name!r}, {len(self._tables)} tables)"

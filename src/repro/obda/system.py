@@ -50,6 +50,8 @@ from ..dllite.syntax import (
 )
 from ..dllite.tbox import TBox
 from ..errors import InconsistentOntology, ReproError
+from ..runtime.budget import Budget
+from ..runtime.execution import ExecutionContext
 from .evaluation import (
     ABoxExtents,
     DatalogExtents,
@@ -129,10 +131,17 @@ class OBDASystem:
             self._classification = GraphClassifier().classify(self.tbox)
         return self._classification
 
-    def extents(self) -> ExtentProvider:
+    def extents(
+        self, context: Optional[ExecutionContext] = None
+    ) -> ExtentProvider:
+        """The extent provider, wrapped in the context's retry policy (if any)."""
         if self.abox is not None:
-            return ABoxExtents(self.abox)
-        return MappingExtents(self.mappings, self.database)
+            provider: ExtentProvider = ABoxExtents(self.abox)
+        else:
+            provider = MappingExtents(self.mappings, self.database)
+        if context is not None:
+            provider = context.wrap_extents(provider)
+        return provider
 
     def _as_ucq(self, query: Union[str, UnionQuery, ConjunctiveQuery]) -> UnionQuery:
         if isinstance(query, str):
@@ -143,23 +152,27 @@ class OBDASystem:
 
     # -- query answering -----------------------------------------------------------
 
-    def rewrite(self, query, method: str = "perfectref"):
+    def rewrite(self, query, method: str = "perfectref", budget=None):
         """Rewrite only (no evaluation); returns a UCQ or DatalogRewriting.
 
         Rewritings are cached per (query, method) — they depend only on
-        the TBox, not on the data.
+        the TBox, not on the data.  Only *completed* rewritings enter the
+        cache, so a budget abort never poisons it.
         """
         if method not in ("perfectref", "perfectref-sql", "presto"):
             raise ReproError(f"unknown rewriting method {method!r}")
         ucq = self._as_ucq(query)
+        budget = Budget.ensure(budget, task=f"rewrite:{ucq.name or method}")
         key = (str(ucq), "presto" if method == "presto" else "perfectref")
         cached = self._rewriting_cache.get(key)
         if cached is not None:
             return cached
         if method == "presto":
-            rewritten = presto_rewrite(ucq, self.tbox, self.classification)
+            rewritten = presto_rewrite(
+                ucq, self.tbox, self.classification, budget=budget
+            )
         else:
-            rewritten = perfect_ref(ucq, self.tbox)
+            rewritten = perfect_ref(ucq, self.tbox, budget=budget)
         self._rewriting_cache[key] = rewritten
         return rewritten
 
@@ -168,27 +181,65 @@ class OBDASystem:
         query,
         method: str = "perfectref",
         check_consistency: bool = True,
+        budget=None,
+        retry=None,
     ) -> Set[Tuple]:
         """The certain answers of *query* over the OBDA specification.
 
         Raises :class:`InconsistentOntology` when the KB is inconsistent
         (every tuple would be a certain answer) unless checking is off.
+
+        Resilience knobs:
+
+        * *budget* — seconds, a :class:`~repro.runtime.budget.Budget` or
+          ``None``; one allowance shared by consistency checking,
+          rewriting, unfolding and evaluation.  Exhaustion raises a
+          :class:`~repro.errors.TimeoutExceeded` naming the phase and
+          query that overran.
+        * *retry* — a :class:`~repro.runtime.retry.RetryPolicy` applied
+          to every source access (virtual extents or SQL tables), so
+          transient source failures are retried with backoff and only an
+          exhausted policy surfaces (as a typed
+          :class:`~repro.errors.PermanentSourceError`).
         """
-        if check_consistency and not self.is_consistent():
+        ucq = self._as_ucq(query)
+        label = ucq.name or "query"
+        context = ExecutionContext.create(
+            budget, retry, task=f"certain-answers:{label}"
+        )
+        if check_consistency and not self.is_consistent(context=context):
             raise InconsistentOntology(
                 "the mapped sources violate the TBox; every tuple is entailed"
             )
-        ucq = self._as_ucq(query)
+        context.check()
         if method == "perfectref":
-            return evaluate_ucq(self.rewrite(ucq), self.extents())
+            rewritten = self.rewrite(ucq, budget=context.scoped(f"rewrite:{label}"))
+            return evaluate_ucq(
+                rewritten,
+                self.extents(context),
+                budget=context.scoped(f"evaluate:{label}"),
+            )
         if method == "perfectref-sql":
             if self.mappings is None:
                 raise ReproError("perfectref-sql requires mappings and a database")
-            return unfold(self.rewrite(ucq), self.mappings).execute(self.database)
+            rewritten = self.rewrite(ucq, budget=context.scoped(f"rewrite:{label}"))
+            unfolded = unfold(
+                rewritten, self.mappings, budget=context.scoped(f"unfold:{label}")
+            )
+            return unfolded.execute(
+                context.wrap_database(self.database),
+                budget=context.scoped(f"sql:{label}"),
+            )
         if method == "presto":
-            rewriting = self.rewrite(ucq, method="presto")
-            provider = DatalogExtents(rewriting, self.extents())
-            return evaluate_ucq(rewriting.ucq, provider)
+            rewriting = self.rewrite(
+                ucq, method="presto", budget=context.scoped(f"rewrite:{label}")
+            )
+            provider = DatalogExtents(rewriting, self.extents(context))
+            return evaluate_ucq(
+                rewriting.ucq,
+                provider,
+                budget=context.scoped(f"evaluate:{label}"),
+            )
         raise ReproError(f"unknown query answering method {method!r}")
 
     def certain_answers_eql(self, query, check_consistency: bool = True):
@@ -207,6 +258,21 @@ class OBDASystem:
                 "the mapped sources violate the TBox; every tuple is entailed"
             )
         return evaluate_eql(query, self.tbox, self.extents())
+
+    # -- resilient execution ---------------------------------------------------
+
+    def execution_context(self, budget=None, retry=None) -> ExecutionContext:
+        """Build an :class:`~repro.runtime.execution.ExecutionContext`.
+
+        Convenience for callers issuing several queries under one shared
+        allowance/policy::
+
+            context = system.execution_context(budget=30.0, retry=policy)
+            for query in workload:
+                system.certain_answers(query, budget=context.budget,
+                                       retry=context.retry)
+        """
+        return ExecutionContext.create(budget, retry, task="obda")
 
     # -- instance-level services ---------------------------------------------------------
 
@@ -276,11 +342,20 @@ class OBDASystem:
             queries.append((str(axiom), UnionQuery([cq], name="violation")))
         return queries
 
-    def functionality_violations(self) -> List[str]:
-        """Functionality assertions violated by the (virtual) data."""
+    def functionality_violations(
+        self, context: Optional[ExecutionContext] = None
+    ) -> List[str]:
+        """Functionality assertions violated by the (virtual) data.
+
+        Polls the context's budget per assertion (and inside each
+        rewriting/evaluation), so consistency checking is bounded too.
+        """
         violated: List[str] = []
-        extents = self.extents()
+        extents = self.extents(context)
+        budget = context.scoped("consistency:functionality") if context else None
         for axiom in self.tbox.functionality_assertions:
+            if budget is not None:
+                budget.check()
             if isinstance(axiom, FunctionalRole):
                 role = axiom.role
                 name = role.name if isinstance(role, AtomicRole) else role.role.name
@@ -289,8 +364,9 @@ class OBDASystem:
                         [ConjunctiveQuery((_X, _Y), [Atom(name, (_X, _Y))])], "ext"
                     ),
                     self.tbox,
+                    budget=budget,
                 )
-                pairs = evaluate_ucq(ucq, extents)
+                pairs = evaluate_ucq(ucq, extents, budget=budget)
                 if isinstance(role, InverseRole):
                     pairs = {(b, a) for a, b in pairs}
             elif isinstance(axiom, FunctionalAttribute):
@@ -304,8 +380,9 @@ class OBDASystem:
                         "ext",
                     ),
                     self.tbox,
+                    budget=budget,
                 )
-                pairs = evaluate_ucq(ucq, extents)
+                pairs = evaluate_ucq(ucq, extents, budget=budget)
             else:  # pragma: no cover - defensive
                 continue
             subjects = [subject for subject, _ in pairs]
@@ -313,25 +390,40 @@ class OBDASystem:
                 violated.append(str(axiom))
         return violated
 
-    def inconsistency_witnesses(self) -> List[str]:
-        """Human-readable reasons the KB is inconsistent (empty = consistent)."""
+    def inconsistency_witnesses(
+        self, context: Optional[ExecutionContext] = None
+    ) -> List[str]:
+        """Human-readable reasons the KB is inconsistent (empty = consistent).
+
+        Every loop polls the context's budget (violation queries are
+        rewritten and evaluated under it), and extent access goes through
+        the context's retry policy — consistency checking was previously
+        the largest unbounded region of the pipeline.
+        """
+        budget = context.scoped("consistency:check") if context else None
         if self._violation_rewritings is None:
-            self._violation_rewritings = [
-                (label, perfect_ref(ucq, self.tbox))
-                for label, ucq in self.violation_queries()
-            ]
+            rewritings = []
+            for label, ucq in self.violation_queries():
+                if budget is not None:
+                    budget.check()
+                rewritings.append((label, perfect_ref(ucq, self.tbox, budget=budget)))
+            self._violation_rewritings = rewritings
         witnesses: List[str] = []
-        extents = self.extents()
+        extents = self.extents(context)
         for label, rewritten in self._violation_rewritings:
-            if evaluate_ucq(rewritten, extents):
+            if budget is not None:
+                budget.check()
+            if evaluate_ucq(rewritten, extents, budget=budget):
                 witnesses.append(f"negative inclusion violated: {label}")
         witnesses.extend(
             f"functionality violated: {label}"
-            for label in self.functionality_violations()
+            for label in self.functionality_violations(context)
         )
         # Unsatisfiable predicates with a non-empty extent also break the KB.
         for node in self.classification.unsatisfiable():
             if isinstance(node, (AtomicConcept, AtomicRole, AtomicAttribute)):
+                if budget is not None:
+                    budget.check()
                 arity = 1 if isinstance(node, AtomicConcept) else 2
                 variables = (_X,) if arity == 1 else (_X, _Y)
                 ucq = perfect_ref(
@@ -340,10 +432,11 @@ class OBDASystem:
                         "unsat",
                     ),
                     self.tbox,
+                    budget=budget,
                 )
-                if evaluate_ucq(ucq, extents):
+                if evaluate_ucq(ucq, extents, budget=budget):
                     witnesses.append(f"unsatisfiable predicate populated: {node}")
         return witnesses
 
-    def is_consistent(self) -> bool:
-        return not self.inconsistency_witnesses()
+    def is_consistent(self, context: Optional[ExecutionContext] = None) -> bool:
+        return not self.inconsistency_witnesses(context)

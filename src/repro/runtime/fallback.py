@@ -1,0 +1,174 @@
+"""Fallback reasoner chains: the paper's implicit execution pattern.
+
+Figure 1 is a robustness story — Pellet, FaCT++ and HermiT racing a
+one-hour timeout on ontologies the graph-based technique classifies in
+milliseconds.  The pattern a production deployment derives from it is a
+*chain*: try the expensive (or incomplete-but-fast) engine under a
+budget slice, and when it times out, errors out, or runs out of memory,
+fall back to the next engine — with the graph classifier as the anchor
+of last resort that always answers.
+
+:class:`FallbackChain` implements that pattern behind the standard
+``Reasoner`` interface, and additionally exposes
+:meth:`FallbackChain.classify_with_report`, which returns a
+:class:`ChainResult` recording **which engine served the result**,
+whether that engine is **complete**, and whether the answer is
+**degraded** (served by a fallback, or by an engine documented as
+incomplete).  Degraded answers also emit a
+:class:`~repro.errors.DegradedResult` warning so unaware callers still
+get a signal.
+
+Budget semantics (documented contract, asserted by the tests):
+
+* every *non-final* engine runs under a slice — either the explicit
+  ``per_engine_budget_s``, or an even share of the caller's remaining
+  watch allowance;
+* the *final* engine is the anchor: it runs under the caller's watch
+  only (unbounded when no watch was given), so the chain produces an
+  answer whenever the anchor can.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..baselines.base import NamedClassification, Reasoner
+from ..errors import DegradedResult, SourceError, TimeoutExceeded
+from .budget import Budget
+
+__all__ = ["EngineAttempt", "ChainResult", "FallbackChain"]
+
+
+@dataclass(frozen=True)
+class EngineAttempt:
+    """One engine's outcome inside a chain run."""
+
+    engine: str
+    outcome: str  # "ok" | "timeout" | "out of memory" | "source error"
+    elapsed_s: float
+    detail: str = ""
+
+
+@dataclass
+class ChainResult:
+    """A classification plus the resilience metadata of how it was made."""
+
+    classification: NamedClassification
+    #: Name of the engine that actually served the result.
+    served_by: str
+    #: Whether the serving engine is documented as complete.
+    complete: bool
+    #: True when a fallback happened or the serving engine is incomplete.
+    degraded: bool
+    #: Every engine tried, in order, including the successful one.
+    attempts: List[EngineAttempt] = field(default_factory=list)
+
+
+class FallbackChain(Reasoner):
+    """Try each engine in order; serve the first answer that arrives.
+
+    >>> from repro.baselines import make_reasoner
+    >>> chain = FallbackChain(
+    ...     [make_reasoner("tableau-pairwise"), make_reasoner("quonto-graph")]
+    ... )
+    >>> chain.name
+    'fallback(tableau-pairwise->quonto-graph)'
+    """
+
+    def __init__(
+        self,
+        engines: Sequence,
+        per_engine_budget_s: Optional[float] = None,
+        warn: bool = True,
+    ):
+        if not engines:
+            raise ValueError("a fallback chain needs at least one engine")
+        self.engines = list(engines)
+        self.per_engine_budget_s = per_engine_budget_s
+        self.warn = warn
+        self.name = "fallback(" + "->".join(e.name for e in self.engines) + ")"
+        # The chain is as complete as its anchor (the engine of last resort).
+        self.complete = self.engines[-1].complete
+
+    # -- budget slicing --------------------------------------------------------
+
+    def _slice_for(self, index: int, watch: Optional[Budget]) -> Optional[Budget]:
+        """The budget the engine at *index* runs under (None = unbounded)."""
+        engine = self.engines[index]
+        if index == len(self.engines) - 1:
+            return watch  # the anchor runs under the caller's watch only
+        if self.per_engine_budget_s is not None:
+            slice_s: Optional[float] = self.per_engine_budget_s
+            if watch is not None and watch.remaining_s is not None:
+                slice_s = min(slice_s, max(watch.remaining_s, 0.0))
+            return Budget(slice_s, task=engine.name)
+        if watch is not None and watch.remaining_s is not None:
+            # Even share of what is left among the engines still to run.
+            share = max(watch.remaining_s, 0.0) / (len(self.engines) - index)
+            return Budget(share, task=engine.name)
+        return watch
+
+    # -- the chain -------------------------------------------------------------
+
+    def classify_with_report(self, tbox, watch: Optional[Budget] = None) -> ChainResult:
+        """Classify *tbox*, recording which engine served the result."""
+        attempts: List[EngineAttempt] = []
+        for index, engine in enumerate(self.engines):
+            final = index == len(self.engines) - 1
+            sub = self._slice_for(index, watch)
+            probe = Budget(task=engine.name)  # elapsed-only, for the report
+            try:
+                classification = engine.classify_named(tbox, watch=sub)
+            except TimeoutExceeded as error:
+                attempts.append(
+                    EngineAttempt(engine.name, "timeout", probe.elapsed_s, str(error))
+                )
+                if final:
+                    raise
+                continue
+            except MemoryError as error:
+                attempts.append(
+                    EngineAttempt(
+                        engine.name, "out of memory", probe.elapsed_s, str(error)
+                    )
+                )
+                if final:
+                    raise
+                continue
+            except SourceError as error:
+                attempts.append(
+                    EngineAttempt(
+                        engine.name, "source error", probe.elapsed_s, str(error)
+                    )
+                )
+                if final:
+                    raise
+                continue
+            attempts.append(EngineAttempt(engine.name, "ok", probe.elapsed_s))
+            degraded = index > 0 or not engine.complete
+            if degraded and self.warn:
+                warnings.warn(
+                    f"{self.name}: result served by {engine.name!r} "
+                    f"(fallback level {index}, "
+                    f"{'complete' if engine.complete else 'incomplete'} engine)",
+                    DegradedResult,
+                    stacklevel=2,
+                )
+            return ChainResult(
+                classification=classification,
+                served_by=engine.name,
+                complete=engine.complete,
+                degraded=degraded,
+                attempts=attempts,
+            )
+        raise AssertionError("unreachable: the final engine raises or returns")
+
+    def classify_named(
+        self, tbox, watch: Optional[Budget] = None
+    ) -> NamedClassification:
+        return self.classify_with_report(tbox, watch=watch).classification
+
+    def measure(self, tbox, watch: Optional[Budget] = None) -> int:
+        return len(self.classify_with_report(tbox, watch=watch).classification)

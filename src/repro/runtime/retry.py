@@ -1,0 +1,162 @@
+"""Retry policies: exponential backoff with deterministic jitter.
+
+Practical OBDA deployments sit on sources that fail transiently — lock
+timeouts, connection blips, overloaded endpoints.  A
+:class:`RetryPolicy` classifies exceptions into retryable and not,
+sleeps an exponentially growing, deterministically jittered delay
+between attempts, and converts an exhausted retry loop into a typed
+:class:`~repro.errors.PermanentSourceError` (never a bare exception).
+
+Determinism matters for reproducibility: the jitter stream is derived
+from ``(seed, task, attempt)``, so a failing run replays identically.
+Delays are also capped by the remaining time of an optional
+:class:`~repro.runtime.budget.Budget` so a retry loop can never sleep
+through a deadline.
+
+The two wrappers at the bottom put the policy where the paper's stack
+actually touches unreliable I/O: the virtual-extent provider and the
+SQL backend.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Set, Tuple, Type
+
+from ..errors import PermanentSourceError, TransientSourceError
+from ..obda.evaluation import ExtentProvider
+from ..obda.sql.database import Database
+from .budget import Budget
+
+__all__ = ["RetryPolicy", "RetryingExtents", "RetryingDatabase"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry a transient failure.
+
+    >>> policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+    >>> policy.retryable_error(TransientSourceError("blip"))
+    True
+    >>> policy.retryable_error(ValueError("bug"))
+    False
+    """
+
+    #: Total attempts including the first one (1 = no retries).
+    max_attempts: int = 4
+    #: Delay before the first retry; doubles (``multiplier``) each attempt.
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    #: Hard cap on a single delay, pre-jitter.
+    max_delay_s: float = 2.0
+    #: Fraction of each delay randomized away (0 = none, 1 = full jitter).
+    jitter: float = 0.5
+    #: Seed of the deterministic jitter stream.
+    seed: int = 0
+    #: Exception classes worth retrying; everything else propagates.
+    retryable: Tuple[Type[BaseException], ...] = (TransientSourceError,)
+    #: Injectable sleep, so tests can record delays instead of waiting.
+    sleep: Callable[[float], None] = time.sleep
+
+    def retryable_error(self, error: BaseException) -> bool:
+        return isinstance(error, self.retryable)
+
+    def delay_s(self, attempt: int, task: str = "") -> float:
+        """The (deterministic) delay after failed attempt number *attempt*."""
+        raw = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s
+        )
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        rng = random.Random(f"{self.seed}:{task}:{attempt}")
+        return raw * (1.0 - self.jitter * rng.random())
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        task: str = "source call",
+        budget: Optional[Budget] = None,
+        **kwargs,
+    ):
+        """Run ``fn(*args, **kwargs)`` under this policy.
+
+        Non-retryable exceptions propagate untouched.  When the attempt
+        allowance is exhausted the last transient failure is wrapped in
+        a :class:`PermanentSourceError` (cause preserved), so callers
+        downstream see one typed "the source is effectively down" error.
+        """
+        attempt = 1
+        while True:
+            if budget is not None:
+                budget.check()
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as error:  # noqa: BLE001 — classified below
+                if not self.retryable_error(error):
+                    raise
+                if attempt >= self.max_attempts:
+                    raise PermanentSourceError(
+                        f"{task} still failing after {attempt} attempt(s): {error}"
+                    ) from error
+                delay = self.delay_s(attempt, task=task)
+                if budget is not None:
+                    remaining = budget.remaining_s
+                    if remaining is not None:
+                        if remaining <= 0:
+                            budget.check()  # raises TimeoutExceeded with task name
+                        delay = min(delay, remaining)
+                if delay > 0:
+                    self.sleep(delay)
+                attempt += 1
+
+
+class RetryingExtents(ExtentProvider):
+    """An :class:`ExtentProvider` that retries transient source failures."""
+
+    def __init__(
+        self,
+        inner: ExtentProvider,
+        policy: RetryPolicy,
+        budget: Optional[Budget] = None,
+    ):
+        self.inner = inner
+        self.policy = policy
+        self.budget = budget
+
+    def extent(self, predicate: str, arity: int):
+        return self.policy.call(
+            self.inner.extent,
+            predicate,
+            arity,
+            task=f"extent:{predicate}",
+            budget=self.budget,
+        )
+
+
+class RetryingDatabase(Database):
+    """A :class:`Database` proxy that retries transient table access.
+
+    Shares the inner database's table registry (``in`` checks, listing)
+    but routes every :meth:`table` lookup — the access path of the SQL
+    algebra evaluator — through the retry policy.
+    """
+
+    def __init__(
+        self,
+        inner: Database,
+        policy: RetryPolicy,
+        budget: Optional[Budget] = None,
+    ):
+        super().__init__(name=inner.name)
+        self.inner = inner
+        self.policy = policy
+        self.budget = budget
+        self._tables = inner._tables
+
+    def table(self, name: str):
+        return self.policy.call(
+            self.inner.table, name, task=f"table:{name}", budget=self.budget
+        )

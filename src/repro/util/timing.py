@@ -1,16 +1,23 @@
-"""Wall-clock helpers used by the Figure 1 harness and the benchmarks."""
+"""Wall-clock helpers used by the Figure 1 harness and the benchmarks.
+
+:class:`Stopwatch` predates the resilient execution layer; it is now a
+thin veneer over :class:`repro.runtime.budget.Budget`, which generalizes
+it with task names, deadlines, amortized polling and scoped sub-budgets.
+Existing call sites (``watch.check_budget()`` in every reasoner) keep
+working unchanged, and a ``Stopwatch`` can be passed anywhere a
+``Budget`` is accepted.
+"""
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
-from ..errors import TimeoutExceeded
+from ..runtime.budget import Budget, Deadline
 
-__all__ = ["Stopwatch", "format_millis"]
+__all__ = ["Budget", "Deadline", "Stopwatch", "format_millis"]
 
 
-class Stopwatch:
+class Stopwatch(Budget):
     """A monotonic stopwatch with an optional budget.
 
     The Figure 1 harness reruns each reasoner with a timeout, like the
@@ -19,24 +26,8 @@ class Stopwatch:
     :class:`repro.errors.TimeoutExceeded`.
     """
 
-    def __init__(self, budget_s: Optional[float] = None):
-        self.budget_s = budget_s
-        self._start = time.perf_counter()
-
-    def restart(self) -> None:
-        self._start = time.perf_counter()
-
-    @property
-    def elapsed_s(self) -> float:
-        return time.perf_counter() - self._start
-
-    @property
-    def elapsed_ms(self) -> float:
-        return self.elapsed_s * 1000.0
-
-    def check_budget(self) -> None:
-        if self.budget_s is not None and self.elapsed_s > self.budget_s:
-            raise TimeoutExceeded(self.budget_s, self.elapsed_s)
+    def __init__(self, budget_s: Optional[float] = None, task: str = "reasoning task"):
+        super().__init__(budget_s=budget_s, task=task)
 
 
 def format_millis(ms: Optional[float]) -> str:

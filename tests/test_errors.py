@@ -3,13 +3,17 @@
 import pytest
 
 from repro.errors import (
+    DegradedResult,
     DiagramError,
     InconsistentOntology,
     LanguageViolation,
     MappingError,
+    PermanentSourceError,
     ReproError,
+    SourceError,
     SyntaxError_,
     TimeoutExceeded,
+    TransientSourceError,
     UnknownPredicate,
 )
 
@@ -23,8 +27,46 @@ def test_all_errors_derive_from_repro_error():
         MappingError,
         TimeoutExceeded,
         DiagramError,
+        SourceError,
+        TransientSourceError,
+        PermanentSourceError,
     ):
         assert issubclass(error_type, ReproError)
+
+
+def test_source_error_taxonomy():
+    # One except arm distinguishes "retry it" from "give up", and both
+    # are catchable as the common SourceError.
+    assert issubclass(TransientSourceError, SourceError)
+    assert issubclass(PermanentSourceError, SourceError)
+    assert not issubclass(TransientSourceError, PermanentSourceError)
+    assert not issubclass(PermanentSourceError, TransientSourceError)
+
+
+def test_degraded_result_is_a_warning_not_an_error():
+    import warnings
+
+    assert issubclass(DegradedResult, UserWarning)
+    assert not issubclass(DegradedResult, ReproError)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warnings.warn("served by fallback", DegradedResult)
+    assert len(caught) == 1
+
+
+def test_errors_are_exported_from_the_package_root():
+    import repro
+
+    for name in (
+        "ReproError",
+        "TimeoutExceeded",
+        "SourceError",
+        "TransientSourceError",
+        "PermanentSourceError",
+        "DegradedResult",
+    ):
+        assert hasattr(repro, name)
+        assert name in repro.__all__
 
 
 def test_syntax_error_position_rendering():
@@ -40,6 +82,16 @@ def test_timeout_carries_budget():
     assert error.budget_s == 30.0
     assert error.elapsed_s == 31.5
     assert "30.0s" in str(error)
+
+
+def test_timeout_carries_the_task_name():
+    error = TimeoutExceeded(30.0, 31.5, task="rewrite:q7")
+    assert error.task == "rewrite:q7"
+    assert str(error).startswith("rewrite:q7 exceeded")
+    # Without a task the historical message is preserved.
+    anonymous = TimeoutExceeded(30.0, 31.5)
+    assert anonymous.task is None
+    assert "reasoning task" in str(anonymous)
 
 
 def test_one_except_catches_the_pipeline():

@@ -1,0 +1,104 @@
+"""Budget threading through the OBDA pipeline (satellite coverage).
+
+Asserts that ``OBDASystem.certain_answers``, consistency checking,
+rewriting and evaluation all honor one shared allowance, abort with a
+task-named :class:`TimeoutExceeded`, and never change answers when the
+budget is generous.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import TimeoutExceeded
+from repro.obda.evaluation import ABoxExtents, evaluate_ucq
+from repro.obda.cq_parser import parse_query
+from repro.obda.rewriting.perfectref import perfect_ref
+from repro.runtime import Budget, ExecutionContext
+
+from tests.test_runtime_faults import make_campus_db, make_university
+
+METHODS = ("perfectref", "perfectref-sql", "presto")
+
+
+def expired_budget():
+    budget = Budget(0.0, task="test allowance")
+    time.sleep(0.001)
+    return budget
+
+
+@pytest.fixture
+def university():
+    return make_university(make_campus_db())
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_certain_answers_aborts_on_exhausted_budget(university, method):
+    with pytest.raises(TimeoutExceeded) as info:
+        university.certain_answers(
+            "q(x) :- Person(x)", method=method, budget=expired_budget()
+        )
+    assert info.value.task  # the phase that overran is named
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_generous_budget_never_changes_certain_answers(method):
+    unbudgeted = make_university(make_campus_db()).certain_answers(
+        "q(x) :- Person(x)", method=method
+    )
+    budgeted = make_university(make_campus_db()).certain_answers(
+        "q(x) :- Person(x)", method=method, budget=60.0
+    )
+    assert budgeted == unbudgeted
+    assert len(budgeted) == 5
+
+
+def test_consistency_checking_is_bounded(university):
+    context = university.execution_context(budget=expired_budget())
+    with pytest.raises(TimeoutExceeded) as info:
+        university.is_consistent(context=context)
+    assert "consistency" in info.value.task
+    with pytest.raises(TimeoutExceeded):
+        university.inconsistency_witnesses(
+            context=university.execution_context(budget=expired_budget())
+        )
+    with pytest.raises(TimeoutExceeded):
+        university.functionality_violations(
+            context=university.execution_context(budget=expired_budget())
+        )
+
+
+def test_budget_abort_does_not_poison_the_rewriting_cache(university):
+    with pytest.raises(TimeoutExceeded):
+        university.rewrite("q(x) :- Person(x)", budget=expired_budget())
+    # The aborted attempt must not have cached a partial rewriting.
+    ucq = university.rewrite("q(x) :- Person(x)")
+    assert len(ucq) >= 4
+
+
+def test_execution_context_bundles_budget_and_retry(university):
+    context = university.execution_context(budget=30.0)
+    assert isinstance(context, ExecutionContext)
+    assert context.budget is not None
+    assert context.budget.budget_s == 30.0
+    assert context.retry is None
+    context.check()  # plenty left
+    scoped = context.scoped("phase")
+    assert scoped.task == "phase"
+
+
+def test_perfect_ref_honors_the_budget(university):
+    with pytest.raises(TimeoutExceeded):
+        perfect_ref(
+            parse_query("q(x) :- Person(x)"),
+            university.tbox,
+            budget=expired_budget(),
+        )
+
+
+def test_evaluate_ucq_honors_the_budget():
+    from repro.dllite import ABox
+
+    ucq = parse_query("q(x) :- Person(x)")
+    with pytest.raises(TimeoutExceeded):
+        evaluate_ucq(ucq, ABoxExtents(ABox()), budget=expired_budget())
