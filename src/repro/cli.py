@@ -337,6 +337,40 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    """Cross-engine conformance fuzzing (differential + metamorphic + shrink).
+
+    Exit 0 iff every check of every round agreed; disagreements are
+    printed (and, with ``--regressions``, minimized and written as
+    replayable fixtures).  A budget exhaustion is an orderly early stop.
+    """
+    from .testkit import ConformanceConfig, run_conformance
+    from .testkit.oracle import DEFAULT_ENGINES
+
+    engines = (
+        tuple(name.strip() for name in args.engines.split(",") if name.strip())
+        if args.engines
+        else DEFAULT_ENGINES
+    )
+    config = ConformanceConfig(
+        seed=args.seed,
+        rounds=args.rounds,
+        engines=engines,
+        budget_s=args.budget,
+        semantics_every=args.semantics_every,
+        obda_every=args.obda_every,
+        regression_dir=args.regressions,
+        shrink=not args.no_shrink,
+    )
+    report = run_conformance(config)
+    print(report.summary())
+    for disagreement in report.disagreements:
+        print(f"  {disagreement}", file=sys.stderr)
+    for path in report.reproducers:
+        print(f"  reproducer written: {path}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DL-Lite classification and OBDA toolbox"
@@ -439,6 +473,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget", type=float, help="overall time budget in seconds"
     )
     resilience.set_defaults(handler=_cmd_resilience)
+
+    conformance = commands.add_parser(
+        "conformance",
+        help="cross-engine conformance fuzzing: differential oracle, "
+        "metamorphic invariants, minimizing shrinker",
+    )
+    conformance.add_argument(
+        "--seed", type=int, default=7, help="campaign seed (fully deterministic)"
+    )
+    conformance.add_argument(
+        "--rounds", type=int, default=25, help="fuzz rounds to run"
+    )
+    conformance.add_argument(
+        "--engines",
+        help="comma-separated engine names (default: every registered engine)",
+    )
+    conformance.add_argument(
+        "--budget",
+        type=float,
+        help="overall time budget in seconds (early stop, not a failure)",
+    )
+    conformance.add_argument(
+        "--semantics-every",
+        type=int,
+        default=2,
+        help="run the brute-force finite-model check every Nth round (0 = never)",
+    )
+    conformance.add_argument(
+        "--obda-every",
+        type=int,
+        default=2,
+        help="run the end-to-end OBDA answer diff every Nth round (0 = never)",
+    )
+    conformance.add_argument(
+        "--regressions",
+        help="directory to write minimized reproducers into "
+        "(e.g. tests/regressions)",
+    )
+    conformance.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw disagreements without minimizing them",
+    )
+    conformance.set_defaults(handler=_cmd_conformance)
 
     return parser
 

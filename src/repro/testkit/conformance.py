@@ -1,0 +1,272 @@
+"""The conformance runner: seeded fuzz rounds over the whole stack.
+
+One *round* is: generate a structured ontology from the round's seed,
+run the differential engine oracle and the metamorphic battery on it,
+then — on a schedule within the round — the brute-force semantics check
+on a tiny sibling ontology and the end-to-end OBDA answer diff
+(PerfectRef vs Presto vs unfolded SQL over a direct mapping of a random
+ABox).  Any disagreement is shrunk to a minimal reproducer and written
+to the regression corpus directory.
+
+The runner reuses :class:`repro.runtime.budget.Budget` for bounded
+execution: the CI smoke job runs with a ~60s allowance, and a budget
+exhaustion mid-campaign is an orderly early stop (``stopped_early``),
+not a failure.
+
+Determinism: every round derives its own ``random.Random`` from
+``(seed, round_index)``, so a disagreement report names the exact round
+seed that replays it — independently of how many rounds ran before it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..dllite.tbox import TBox
+from ..errors import TimeoutExceeded
+from ..runtime.budget import Budget
+from .generators import (
+    FuzzProfile,
+    direct_mapping_system,
+    random_abox,
+    random_profile_tbox,
+    random_queries,
+    random_tiny_tbox,
+)
+from .metamorphic import run_metamorphic_checks
+from .oracle import (
+    DEFAULT_ENGINES,
+    Disagreement,
+    diff_answers,
+    diff_engines,
+    semantics_soundness,
+)
+from .shrink import shrink_tbox, write_reproducer
+
+__all__ = ["ConformanceConfig", "ConformanceReport", "run_conformance"]
+
+
+@dataclass(frozen=True)
+class ConformanceConfig:
+    """One conformance campaign, fully determined by its fields."""
+
+    seed: int = 7
+    rounds: int = 25
+    engines: Tuple[str, ...] = DEFAULT_ENGINES
+    #: seconds for the whole campaign (None = unbounded)
+    budget_s: Optional[float] = None
+    #: run the exponential finite-model check every Nth round (0 = never)
+    semantics_every: int = 2
+    #: run the end-to-end OBDA answer diff every Nth round (0 = never)
+    obda_every: int = 2
+    #: where minimized reproducers are written (None = don't write)
+    regression_dir: Optional[str] = None
+    #: shrink disagreements before reporting (slower, far better reports)
+    shrink: bool = True
+    profile: FuzzProfile = field(default_factory=FuzzProfile)
+
+
+@dataclass
+class ConformanceReport:
+    """What a campaign did and what it found."""
+
+    config: ConformanceConfig
+    rounds_run: int = 0
+    checks_run: int = 0
+    disagreements: List[Disagreement] = field(default_factory=list)
+    reproducers: List[str] = field(default_factory=list)
+    stopped_early: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        state = "conformant" if self.ok else f"{len(self.disagreements)} disagreement(s)"
+        early = " (stopped early: budget exhausted)" if self.stopped_early else ""
+        return (
+            f"conformance seed={self.config.seed}: {self.rounds_run} round(s), "
+            f"{self.checks_run} check(s), {state}{early} "
+            f"in {self.elapsed_s:.1f}s"
+        )
+
+
+def _round_rng(seed: int, round_index: int) -> random.Random:
+    return random.Random(f"conformance:{seed}:{round_index}")
+
+
+def _shrink_and_record(
+    report: ConformanceReport,
+    config: ConformanceConfig,
+    tbox: TBox,
+    problems: List[Disagreement],
+    check,
+    round_index: int,
+    budget: Optional[Budget],
+) -> None:
+    """Record *problems*, minimizing *tbox* under *check* when enabled.
+
+    ``check`` re-runs the failing oracle on a candidate TBox and returns
+    the (possibly empty) disagreement list for it.
+    """
+    report.disagreements.extend(problems)
+    if not config.shrink or check is None:
+        return
+    try:
+        minimal = shrink_tbox(tbox, lambda t: bool(check(t)), budget=budget)
+    except (ValueError, TimeoutExceeded):
+        minimal = tbox  # non-reproducible under re-check or out of time
+    minimal_problems = check(minimal) or problems
+    if config.regression_dir is not None:
+        note_lines = [str(p) for p in minimal_problems[:4]]
+        note_lines.append(
+            f"seed={config.seed} round={round_index} "
+            f"engines={','.join(config.engines)}"
+        )
+        path = write_reproducer(
+            config.regression_dir,
+            f"seed{config.seed}-round{round_index}-{minimal_problems[0].kind}",
+            minimal,
+            note="\n".join(note_lines),
+        )
+        report.reproducers.append(str(path))
+
+
+def run_conformance(config: ConformanceConfig) -> ConformanceReport:
+    """Run a full campaign; never raises on disagreement (see the report)."""
+    overall = Budget(config.budget_s, task=f"conformance:seed{config.seed}")
+    report = ConformanceReport(config=config)
+    engines = tuple(config.engines)
+    for round_index in range(config.rounds):
+        if overall.budget_s is not None and (overall.remaining_s or 0) <= 0:
+            report.stopped_early = True
+            break
+        rng = _round_rng(config.seed, round_index)
+        try:
+            _run_round(report, config, engines, rng, round_index, overall)
+        except TimeoutExceeded:
+            report.stopped_early = True
+            break
+        report.rounds_run += 1
+    report.elapsed_s = overall.elapsed_s
+    return report
+
+
+def _run_round(
+    report: ConformanceReport,
+    config: ConformanceConfig,
+    engines: Tuple[str, ...],
+    rng: random.Random,
+    round_index: int,
+    budget: Budget,
+) -> None:
+    tbox = random_profile_tbox(rng, config.profile)
+
+    # 1. differential: every engine against the complete reference
+    problems = diff_engines(tbox, engines, budget=budget)
+    report.checks_run += 1
+    if problems:
+        _shrink_and_record(
+            report,
+            config,
+            tbox,
+            problems,
+            lambda t: diff_engines(t, engines, budget=budget),
+            round_index,
+            budget,
+        )
+
+    # 2. metamorphic battery (with a second, independent TBox for the
+    #    union-monotonicity invariant)
+    other = random_profile_tbox(rng, config.profile)
+    meta_rng = random.Random(f"meta:{config.seed}:{round_index}")
+    problems = run_metamorphic_checks(
+        tbox, meta_rng, other=other, budget=budget
+    )
+    report.checks_run += 1
+    if problems:
+        # Metamorphic failures depend on (tbox, transform); re-derive the
+        # transform from a fresh copy of the same stream while shrinking.
+        _shrink_and_record(
+            report,
+            config,
+            tbox,
+            problems,
+            lambda t: run_metamorphic_checks(
+                t,
+                random.Random(f"meta:{config.seed}:{round_index}"),
+                other=other,
+                budget=budget,
+            ),
+            round_index,
+            budget,
+        )
+
+    # 3. brute-force finite-model soundness on a tiny sibling ontology
+    if config.semantics_every and round_index % config.semantics_every == 0:
+        tiny = random_tiny_tbox(rng, config.profile)
+        problems = semantics_soundness(tiny, budget=budget)
+        report.checks_run += 1
+        if problems:
+            _shrink_and_record(
+                report,
+                config,
+                tiny,
+                problems,
+                lambda t: semantics_soundness(t, budget=budget),
+                round_index,
+                budget,
+            )
+        # the tiny scale is also where the full engine battery is cheapest
+        problems = diff_engines(tiny, engines, budget=budget)
+        report.checks_run += 1
+        if problems:
+            _shrink_and_record(
+                report,
+                config,
+                tiny,
+                problems,
+                lambda t: diff_engines(t, engines, budget=budget),
+                round_index,
+                budget,
+            )
+
+    # 4. end-to-end OBDA: PerfectRef vs Presto vs unfolded SQL algebra
+    if config.obda_every and round_index % config.obda_every == 0:
+        from ..obda.system import OBDASystem
+
+        small = random_tiny_tbox(rng, config.profile)
+        abox = random_abox(rng, small, config.profile)
+        queries = random_queries(rng, small, config.profile)
+        if queries:
+            systems = {
+                "kb": OBDASystem(small, abox=abox),
+                "sql": direct_mapping_system(small, abox),
+            }
+            problems = diff_answers(
+                systems,
+                queries,
+                methods=("perfectref", "perfectref-sql", "presto"),
+                budget=budget,
+            )
+            report.checks_run += 1
+            if problems:
+                # Answer diffs shrink over the TBox with data and queries
+                # held fixed — the bug is almost always in the rewriting.
+                def recheck(t: TBox):
+                    return diff_answers(
+                        {
+                            "kb": OBDASystem(t, abox=abox),
+                            "sql": direct_mapping_system(t, abox),
+                        },
+                        queries,
+                        methods=("perfectref", "perfectref-sql", "presto"),
+                        budget=budget,
+                    )
+
+                _shrink_and_record(
+                    report, config, small, problems, recheck, round_index, budget
+                )

@@ -1,0 +1,341 @@
+"""Seeded input generators for the conformance testkit.
+
+Every generator takes an explicit ``random.Random`` so a conformance run
+is fully determined by its seed: the same seed replays the same
+ontologies, ABoxes, queries and mapping layouts.
+
+Two ontology scales are produced:
+
+* :func:`random_profile_tbox` — a randomized
+  :class:`~repro.corpus.generator.OntologyProfile` fed through the
+  Figure 1 corpus generator.  Structured like the benchmark ontologies
+  (taxonomy + role box + existentials + disjointness), small enough that
+  the quadratic baselines stay fast;
+* :func:`random_tiny_tbox` — unstructured axiom soup over a signature of
+  at most a handful of predicates, the only scale where the brute-force
+  finite-model oracle of :mod:`repro.dllite.semantics` is affordable.
+
+For the end-to-end OBDA diffs, :func:`random_abox` populates a TBox
+signature with individuals, :func:`direct_mapping_system` lowers that
+ABox into one relational table per predicate plus the corresponding
+GAV mappings (so SQL-unfolded evaluation is comparable answer-for-answer
+with virtual-extent evaluation), and :func:`random_queries` draws small
+connected conjunctive queries over the signature.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..corpus.generator import OntologyProfile, generate
+from ..dllite.abox import (
+    ABox,
+    AttributeAssertion,
+    ConceptAssertion,
+    Individual,
+    RoleAssertion,
+)
+from ..dllite.axioms import (
+    AttributeInclusion,
+    Axiom,
+    ConceptInclusion,
+    RoleInclusion,
+)
+from ..dllite.syntax import (
+    AtomicAttribute,
+    AtomicConcept,
+    AtomicRole,
+    AttributeDomain,
+    ExistentialRole,
+    InverseRole,
+    NegatedAttribute,
+    NegatedConcept,
+    NegatedRole,
+    QualifiedExistential,
+)
+from ..dllite.tbox import TBox
+from ..obda.queries import Atom, ConjunctiveQuery, UnionQuery, Variable
+
+__all__ = [
+    "FuzzProfile",
+    "direct_mapping_system",
+    "random_abox",
+    "random_profile_tbox",
+    "random_queries",
+    "random_tiny_tbox",
+]
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Size knobs of one conformance round (kept laptop-small on purpose)."""
+
+    max_concepts: int = 40
+    max_roles: int = 8
+    max_attributes: int = 3
+    max_disjointness: int = 6
+    max_unsat_seeds: int = 1
+    #: tiny-TBox knobs (brute-force semantics scale)
+    tiny_concepts: int = 3
+    tiny_roles: int = 1
+    tiny_attributes: int = 1
+    tiny_axioms: int = 7
+    #: data/query knobs
+    max_individuals: int = 8
+    max_assertions: int = 24
+    max_queries: int = 4
+    max_query_atoms: int = 3
+
+
+def random_profile_tbox(
+    rng: random.Random, profile: Optional[FuzzProfile] = None
+) -> TBox:
+    """A structured, corpus-generated TBox with randomized shape parameters."""
+    sizes = profile or FuzzProfile()
+    concepts = rng.randint(6, sizes.max_concepts)
+    roles = rng.randint(0, sizes.max_roles)
+    spec = OntologyProfile(
+        name=f"fuzz-{rng.randrange(10**6)}",
+        concepts=concepts,
+        roles=roles,
+        attributes=rng.randint(0, sizes.max_attributes),
+        depth=rng.randint(2, 6),
+        roots=rng.randint(1, 3),
+        extra_parent_fraction=rng.uniform(0.0, 0.3),
+        extra_parents_max=rng.randint(1, 2),
+        role_depth=rng.randint(1, 3),
+        role_inverse_fraction=rng.uniform(0.0, 0.4),
+        domain_range_fraction=rng.uniform(0.0, 0.8),
+        existential_fraction=rng.uniform(0.0, 0.7),
+        qualified_fraction=rng.uniform(0.0, 0.5),
+        disjointness=rng.randint(0, sizes.max_disjointness),
+        role_disjointness=rng.randint(0, 2) if roles >= 2 else 0,
+        unsat_seeds=rng.randint(0, sizes.max_unsat_seeds),
+        seed=rng.randrange(2**31),
+    )
+    return generate(spec)
+
+
+def random_tiny_tbox(
+    rng: random.Random, profile: Optional[FuzzProfile] = None
+) -> TBox:
+    """Unstructured axiom soup over ≤ ~4 predicates (semantics-oracle scale)."""
+    sizes = profile or FuzzProfile()
+    concepts = [AtomicConcept(f"C{i}") for i in range(sizes.tiny_concepts)]
+    roles = [AtomicRole(f"P{i}") for i in range(sizes.tiny_roles)]
+    # an attribute only sometimes, to keep the average signature tiny
+    attributes = (
+        [AtomicAttribute(f"U{i}") for i in range(sizes.tiny_attributes)]
+        if rng.random() < 0.4
+        else []
+    )
+    basic_roles: List = []
+    for role in roles:
+        basic_roles.extend((role, InverseRole(role)))
+    basics: List = (
+        list(concepts)
+        + [ExistentialRole(q) for q in basic_roles]
+        + [AttributeDomain(u) for u in attributes]
+    )
+
+    def concept_rhs():
+        choice = rng.random()
+        if choice < 0.55:
+            return rng.choice(basics)
+        if choice < 0.75 and basic_roles:
+            return QualifiedExistential(rng.choice(basic_roles), rng.choice(concepts))
+        return NegatedConcept(rng.choice(basics))
+
+    axioms: List[Axiom] = []
+    for _ in range(rng.randint(1, sizes.tiny_axioms)):
+        draw = rng.random()
+        if basic_roles and draw < 0.25:
+            lhs = rng.choice(basic_roles)
+            rhs = (
+                NegatedRole(rng.choice(basic_roles))
+                if rng.random() < 0.25
+                else rng.choice(basic_roles)
+            )
+            axioms.append(RoleInclusion(lhs, rhs))
+        elif len(attributes) >= 1 and draw < 0.35:
+            lhs_attr = rng.choice(attributes)
+            rhs_attr = rng.choice(attributes)
+            axioms.append(
+                AttributeInclusion(
+                    lhs_attr,
+                    NegatedAttribute(rhs_attr)
+                    if rng.random() < 0.25
+                    else rhs_attr,
+                )
+            )
+        else:
+            axioms.append(ConceptInclusion(rng.choice(basics), concept_rhs()))
+    tbox = TBox(axioms, name=f"tiny-{rng.randrange(10**6)}")
+    for concept in concepts:
+        tbox.declare(concept)
+    for role in roles:
+        tbox.declare(role)
+    for attribute in attributes:
+        tbox.declare(attribute)
+    return tbox
+
+
+def random_abox(
+    rng: random.Random, tbox: TBox, profile: Optional[FuzzProfile] = None
+) -> ABox:
+    """A random ABox over *tbox*'s signature (individuals ``a0..aN``)."""
+    sizes = profile or FuzzProfile()
+    individuals = [
+        Individual(f"a{i}") for i in range(rng.randint(2, sizes.max_individuals))
+    ]
+    concepts = sorted(tbox.signature.concepts, key=lambda c: c.name)
+    roles = sorted(tbox.signature.roles, key=lambda r: r.name)
+    attributes = sorted(tbox.signature.attributes, key=lambda a: a.name)
+    abox = ABox()
+    for _ in range(rng.randint(1, sizes.max_assertions)):
+        kind = rng.random()
+        if concepts and (kind < 0.5 or not roles and not attributes):
+            abox.add(
+                ConceptAssertion(rng.choice(concepts), rng.choice(individuals))
+            )
+        elif roles and (kind < 0.85 or not attributes):
+            abox.add(
+                RoleAssertion(
+                    rng.choice(roles),
+                    rng.choice(individuals),
+                    rng.choice(individuals),
+                )
+            )
+        elif attributes:
+            abox.add(
+                AttributeAssertion(
+                    rng.choice(attributes),
+                    rng.choice(individuals),
+                    rng.randint(0, 3),
+                )
+            )
+    return abox
+
+
+def direct_mapping_system(tbox: TBox, abox: ABox):
+    """Lower *abox* into a relational database under a direct GAV mapping.
+
+    One table per populated predicate, one mapping assertion per table,
+    with identity IRI templates — so the individuals coming back from the
+    SQL pipeline are literally the ABox individuals and answer sets are
+    comparable with knowledge-base mode using plain ``==``.
+    """
+    from ..obda.mapping import (
+        IriTemplate,
+        MappingAssertion,
+        MappingCollection,
+        TargetAtom,
+        ValueColumn,
+    )
+    from ..obda.sql.database import Database
+    from ..obda.system import OBDASystem
+
+    database = Database(name=f"{tbox.name}-direct")
+    mappings = MappingCollection()
+    concept_rows: dict = {}
+    role_rows: dict = {}
+    attribute_rows: dict = {}
+    for assertion in abox:
+        if isinstance(assertion, ConceptAssertion):
+            concept_rows.setdefault(assertion.concept.name, set()).add(
+                (assertion.individual.name,)
+            )
+        elif isinstance(assertion, RoleAssertion):
+            role_rows.setdefault(assertion.role.name, set()).add(
+                (assertion.subject.name, assertion.object.name)
+            )
+        else:
+            attribute_rows.setdefault(assertion.attribute.name, set()).add(
+                (assertion.subject.name, assertion.value)
+            )
+    for name, rows in sorted(concept_rows.items()):
+        table = f"t_{name}"
+        database.create_table(table, ["s"], sorted(rows))
+        mappings.add(
+            MappingAssertion(
+                f"SELECT s FROM {table}",
+                [TargetAtom(AtomicConcept(name), (IriTemplate("{s}"),))],
+            )
+        )
+    for name, rows in sorted(role_rows.items()):
+        table = f"t_{name}"
+        database.create_table(table, ["s", "o"], sorted(rows))
+        mappings.add(
+            MappingAssertion(
+                f"SELECT s, o FROM {table}",
+                [
+                    TargetAtom(
+                        AtomicRole(name),
+                        (IriTemplate("{s}"), IriTemplate("{o}")),
+                    )
+                ],
+            )
+        )
+    for name, rows in sorted(attribute_rows.items()):
+        table = f"t_{name}"
+        database.create_table(table, ["s", "v"], sorted(rows, key=str))
+        from ..dllite.syntax import AtomicAttribute
+
+        mappings.add(
+            MappingAssertion(
+                f"SELECT s, v FROM {table}",
+                [
+                    TargetAtom(
+                        AtomicAttribute(name),
+                        (IriTemplate("{s}"), ValueColumn("v")),
+                    )
+                ],
+            )
+        )
+    return OBDASystem(tbox, mappings=mappings, database=database)
+
+
+_VARS = (Variable("x"), Variable("y"), Variable("z"))
+
+
+def random_queries(
+    rng: random.Random, tbox: TBox, profile: Optional[FuzzProfile] = None
+) -> List[UnionQuery]:
+    """Small connected CQs over *tbox*'s signature, answer variable ``x``."""
+    sizes = profile or FuzzProfile()
+    concepts = sorted(tbox.signature.concepts, key=lambda c: c.name)
+    roles = sorted(tbox.signature.roles, key=lambda r: r.name)
+    attributes = sorted(tbox.signature.attributes, key=lambda a: a.name)
+    binary = [r.name for r in roles] + [a.name for a in attributes]
+    queries: List[UnionQuery] = []
+    for index in range(rng.randint(1, sizes.max_queries)):
+        atoms: List[Atom] = []
+        # First atom always binds x; later atoms chain off already-used vars.
+        used: List[Variable] = [_VARS[0]]
+        for position in range(rng.randint(1, sizes.max_query_atoms)):
+            anchor = rng.choice(used)
+            if binary and rng.random() < 0.5:
+                other = (
+                    _VARS[min(len(used), 2)]
+                    if rng.random() < 0.7
+                    else rng.choice(used)
+                )
+                pair = (anchor, other) if rng.random() < 0.5 else (other, anchor)
+                atoms.append(Atom(rng.choice(binary), pair))
+                if other not in used:
+                    used.append(other)
+            elif concepts:
+                atoms.append(Atom(rng.choice(concepts).name, (anchor,)))
+            else:
+                break
+        if not atoms:
+            continue  # empty signature — nothing to ask
+        queries.append(
+            UnionQuery(
+                [ConjunctiveQuery((_VARS[0],), atoms, name=f"fq{index}")],
+                name=f"fq{index}",
+            )
+        )
+    return queries

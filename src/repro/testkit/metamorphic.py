@@ -1,0 +1,275 @@
+"""Metamorphic invariants: correctness checks that need no oracle.
+
+Each check transforms a TBox in a way with a *known* effect on the
+classification and asserts that the engine under test honours it:
+
+* **renaming** — classification commutes with injective signature
+  renaming (logic is syntax-independent);
+* **order / duplication** — a TBox is a *set* of axioms: presentation
+  order and repeated assertions are semantically irrelevant;
+* **entailed addition** — asserting something already entailed changes
+  nothing (classification is a closure);
+* **module preservation** — a horizontal module (a connected component
+  of predicate co-occurrence) proves exactly the subsumptions the full
+  ontology proves over the module's signature;
+* **union monotonicity** — DL-Lite is monotone: growing the TBox can
+  only grow Φ_T and Ω_T, never retract them.
+
+All checks accept any object implementing the
+:class:`~repro.baselines.base.Reasoner` interface, so they can be aimed
+at a single suspect engine as well as the default graph classifier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..baselines.base import NamedClassification, Reasoner
+from ..baselines.registry import make_reasoner
+from ..dllite.syntax import AtomicAttribute, AtomicConcept, AtomicRole
+from ..dllite.tbox import TBox
+from ..graphical.modularize import horizontal_modules
+from ..runtime.budget import Budget
+from .oracle import Disagreement, _sample
+from .transform import random_renaming, rename_axiom, rename_tbox, reorder_tbox
+
+__all__ = [
+    "check_duplication",
+    "check_entailed_addition",
+    "check_module_preservation",
+    "check_order_irrelevance",
+    "check_renaming",
+    "check_union_monotonicity",
+    "run_metamorphic_checks",
+]
+
+
+def _classification_sets(result: NamedClassification):
+    return set(result.subsumptions), set(result.unsatisfiable)
+
+
+def _compare(
+    invariant: str,
+    engine: str,
+    ontology: str,
+    expected: NamedClassification,
+    actual: NamedClassification,
+    note: str,
+) -> List[Disagreement]:
+    if expected.agrees_with(actual):
+        return []
+    expected_subs, expected_unsat = _classification_sets(expected)
+    actual_subs, actual_unsat = _classification_sets(actual)
+    pieces = []
+    if actual_subs - expected_subs:
+        pieces.append(f"gained {_sample(actual_subs - expected_subs)}")
+    if expected_subs - actual_subs:
+        pieces.append(f"lost {_sample(expected_subs - actual_subs)}")
+    if actual_unsat != expected_unsat:
+        pieces.append(
+            f"unsat changed {_sample(expected_unsat)} -> {_sample(actual_unsat)}"
+        )
+    return [
+        Disagreement(
+            f"metamorphic:{invariant}",
+            engine,
+            note,
+            "; ".join(pieces) or "classifications differ",
+            ontology,
+        )
+    ]
+
+
+def check_renaming(
+    tbox: TBox,
+    rng: random.Random,
+    reasoner: Optional[Reasoner] = None,
+    budget: Optional[Budget] = None,
+) -> List[Disagreement]:
+    """Classification commutes with injective signature renaming."""
+    engine = reasoner or make_reasoner("quonto-graph")
+    renaming = random_renaming(rng, tbox)
+    original = engine.classify_named(tbox, watch=budget)
+    renamed_result = engine.classify_named(rename_tbox(tbox, renaming), watch=budget)
+    inverse = renaming.inverse()
+    mapped_back = NamedClassification(
+        frozenset(rename_axiom(axiom, inverse) for axiom in renamed_result.subsumptions),
+        frozenset(
+            _rename_predicate(node, inverse) for node in renamed_result.unsatisfiable
+        ),
+    )
+    return _compare(
+        "renaming", engine.name, tbox.name, original, mapped_back, "renamed copy"
+    )
+
+
+def _rename_predicate(node, renaming):
+    if isinstance(node, AtomicConcept):
+        return AtomicConcept(renaming(node.name))
+    if isinstance(node, AtomicRole):
+        return AtomicRole(renaming(node.name))
+    if isinstance(node, AtomicAttribute):
+        return AtomicAttribute(renaming(node.name))
+    return node
+
+
+def check_order_irrelevance(
+    tbox: TBox,
+    rng: random.Random,
+    reasoner: Optional[Reasoner] = None,
+    budget: Optional[Budget] = None,
+) -> List[Disagreement]:
+    """Axiom presentation order does not change the classification."""
+    engine = reasoner or make_reasoner("quonto-graph")
+    original = engine.classify_named(tbox, watch=budget)
+    shuffled = engine.classify_named(reorder_tbox(tbox, rng), watch=budget)
+    return _compare(
+        "order", engine.name, tbox.name, original, shuffled, "shuffled copy"
+    )
+
+
+def check_duplication(
+    tbox: TBox,
+    rng: random.Random,
+    reasoner: Optional[Reasoner] = None,
+    budget: Optional[Budget] = None,
+) -> List[Disagreement]:
+    """Offering the same axiom twice does not change the classification."""
+    engine = reasoner or make_reasoner("quonto-graph")
+    original = engine.classify_named(tbox, watch=budget)
+    duplicated = engine.classify_named(
+        reorder_tbox(tbox, rng, duplicate=True), watch=budget
+    )
+    return _compare(
+        "duplication", engine.name, tbox.name, original, duplicated, "duplicated copy"
+    )
+
+
+def check_entailed_addition(
+    tbox: TBox,
+    rng: random.Random,
+    reasoner: Optional[Reasoner] = None,
+    budget: Optional[Budget] = None,
+    additions: int = 3,
+) -> List[Disagreement]:
+    """Asserting an already-entailed subsumption is a no-op."""
+    engine = reasoner or make_reasoner("quonto-graph")
+    original = engine.classify_named(tbox, watch=budget)
+    entailed = sorted(original.subsumptions, key=str)
+    if not entailed:
+        return []
+    extended = tbox.copy(name=f"{tbox.name}+entailed")
+    for axiom in rng.sample(entailed, min(additions, len(entailed))):
+        extended.add(axiom)
+    after = engine.classify_named(extended, watch=budget)
+    return _compare(
+        "entailed-addition",
+        engine.name,
+        tbox.name,
+        original,
+        after,
+        "entailed axioms added",
+    )
+
+
+def check_module_preservation(
+    tbox: TBox,
+    reasoner: Optional[Reasoner] = None,
+    budget: Optional[Budget] = None,
+) -> List[Disagreement]:
+    """A horizontal module preserves entailments over its own signature.
+
+    Natural horizontal modules are connected components of predicate
+    co-occurrence, so no inference chain crosses module boundaries: the
+    classification of the module must equal the restriction of the full
+    classification to the module's signature — in both directions.
+    """
+    engine = reasoner or make_reasoner("quonto-graph")
+    full = engine.classify_named(tbox, watch=budget)
+    problems: List[Disagreement] = []
+    for module in horizontal_modules(tbox):
+        signature = set(module.signature)
+        restricted = NamedClassification(
+            frozenset(
+                axiom
+                for axiom in full.subsumptions
+                if _named_sides(axiom) <= signature
+            ),
+            frozenset(node for node in full.unsatisfiable if node in signature),
+        )
+        local = engine.classify_named(module, watch=budget)
+        problems.extend(
+            _compare(
+                "module",
+                engine.name,
+                tbox.name,
+                restricted,
+                local,
+                f"module {module.name}",
+            )
+        )
+    return problems
+
+
+def _named_sides(axiom) -> set:
+    return {axiom.lhs, axiom.rhs}
+
+
+def check_union_monotonicity(
+    tbox: TBox,
+    other: TBox,
+    reasoner: Optional[Reasoner] = None,
+    budget: Optional[Budget] = None,
+) -> List[Disagreement]:
+    """Φ_T and Ω_T can only grow when the TBox is extended."""
+    engine = reasoner or make_reasoner("quonto-graph")
+    base = engine.classify_named(tbox, watch=budget)
+    union = tbox.copy(name=f"{tbox.name}+{other.name}")
+    union.extend(other)
+    for predicate in other.signature:
+        union.declare(predicate)
+    merged = engine.classify_named(union, watch=budget)
+    problems: List[Disagreement] = []
+    lost_subs = set(base.subsumptions) - set(merged.subsumptions)
+    lost_unsat = set(base.unsatisfiable) - set(merged.unsatisfiable)
+    if lost_subs:
+        problems.append(
+            Disagreement(
+                "metamorphic:monotonicity",
+                engine.name,
+                "union with independent TBox",
+                f"retracted subsumption(s): {_sample(lost_subs)}",
+                tbox.name,
+            )
+        )
+    if lost_unsat:
+        problems.append(
+            Disagreement(
+                "metamorphic:monotonicity",
+                engine.name,
+                "union with independent TBox",
+                f"retracted unsatisfiable predicate(s): {_sample(lost_unsat)}",
+                tbox.name,
+            )
+        )
+    return problems
+
+
+def run_metamorphic_checks(
+    tbox: TBox,
+    rng: random.Random,
+    reasoner: Optional[Reasoner] = None,
+    other: Optional[TBox] = None,
+    budget: Optional[Budget] = None,
+) -> List[Disagreement]:
+    """Run the full invariant battery on one TBox."""
+    problems: List[Disagreement] = []
+    problems.extend(check_renaming(tbox, rng, reasoner, budget))
+    problems.extend(check_order_irrelevance(tbox, rng, reasoner, budget))
+    problems.extend(check_duplication(tbox, rng, reasoner, budget))
+    problems.extend(check_entailed_addition(tbox, rng, reasoner, budget))
+    problems.extend(check_module_preservation(tbox, reasoner, budget))
+    if other is not None:
+        problems.extend(check_union_monotonicity(tbox, other, reasoner, budget))
+    return problems

@@ -1,0 +1,117 @@
+"""A seeded, deterministic shrinker for disagreeing ontologies.
+
+When the differential oracle finds two engines disagreeing on a
+generated ontology, the raw reproducer is typically dozens of axioms of
+noise around a one- or two-axiom bug.  :func:`shrink_axioms` is a
+delta-debugging minimizer (ddmin-style: remove progressively smaller
+chunks, restart on progress) specialized to axiom lists: it is fully
+deterministic — no randomness, chunks tried in list order — so the same
+disagreement always shrinks to the same reproducer.
+
+:func:`write_reproducer` serializes the minimized ontology (plus a
+provenance header) into a regression corpus directory; the pytest suite
+replays every file in that directory through the full oracle battery
+forever after (``tests/test_regressions.py``), so a bug fixed once can
+never silently return.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from ..dllite.axioms import Axiom
+from ..dllite.parser import serialize_tbox
+from ..dllite.tbox import TBox
+from ..runtime.budget import Budget
+
+__all__ = ["shrink_axioms", "shrink_tbox", "write_reproducer"]
+
+#: Callback deciding whether a candidate axiom list still reproduces the
+#: bug.  It must be *pure* (no state leaking between calls): the shrinker
+#: re-invokes it on overlapping candidates.
+Failure = Callable[[List[Axiom]], bool]
+
+
+def shrink_axioms(
+    axioms: Sequence[Axiom],
+    still_fails: Failure,
+    budget: Optional[Budget] = None,
+) -> List[Axiom]:
+    """Minimize *axioms* while ``still_fails`` keeps returning True.
+
+    Classic ddmin: try dropping chunks of size n/2, n/4, ... 1; whenever a
+    drop preserves the failure, restart from the reduced list.  The final
+    pass retries single-axiom removals until a fixpoint, so the result is
+    1-minimal: removing any single remaining axiom makes the bug vanish.
+    A *budget* bounds the whole search (each candidate evaluation polls
+    it), since a slow engine pair can make shrinking expensive.
+    """
+    current = list(axioms)
+    if not still_fails(current):
+        raise ValueError("the initial axiom list does not reproduce the failure")
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        if budget is not None:
+            budget.check()
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk :]
+            if still_fails(candidate):
+                current = candidate
+                reduced = True
+                # keep start where it is: the next chunk slid into place
+            else:
+                start += chunk
+            if budget is not None:
+                budget.check()
+        if not reduced:
+            chunk //= 2
+    return current
+
+
+def shrink_tbox(
+    tbox: TBox,
+    still_fails_tbox: Callable[[TBox], bool],
+    budget: Optional[Budget] = None,
+) -> TBox:
+    """Shrink a TBox under a TBox-level failure predicate.
+
+    Declared-but-unconstrained predicates are dropped along the way: the
+    reproducer's signature is re-derived from the surviving axioms.
+    """
+    minimal = shrink_axioms(
+        list(tbox),
+        lambda axioms: still_fails_tbox(TBox(axioms, name=tbox.name)),
+        budget=budget,
+    )
+    return TBox(minimal, name=f"{tbox.name}-minimal")
+
+
+def write_reproducer(
+    directory, name: str, tbox: TBox, note: str = ""
+) -> Path:
+    """Serialize *tbox* into ``directory`` as a replayable ``.dl`` fixture.
+
+    The file is the textual DL-Lite syntax (round-trips through
+    ``parse_tbox``) with a comment header recording where it came from.
+    Returns the path written.  Names are slugified and deduplicated, so
+    two reproducers from one fuzz run never overwrite each other.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", name).strip("-") or "reproducer"
+    path = directory / f"{slug}.dl"
+    counter = 1
+    while path.exists():
+        counter += 1
+        path = directory / f"{slug}-{counter}.dl"
+    header = [f"# minimized conformance reproducer: {name}"]
+    if note:
+        for line in note.splitlines():
+            header.append(f"# {line}")
+    header.append(f"# {len(tbox)} axiom(s); replayed by tests/test_regressions.py")
+    path.write_text("\n".join(header) + "\n" + serialize_tbox(tbox))
+    return path

@@ -5,7 +5,9 @@ These encode the central correctness claims of the paper:
 * Theorem 1 — the digraph closure decides exactly the Φ_T subsumptions;
 * computeUnsat — sound and complete unsatisfiability detection;
 * the graph classifier agrees with the independent saturation oracle and
-  with the brute-force finite-model semantics on every axiom shape.
+  with the brute-force finite-model semantics on every axiom shape;
+* both concrete syntaxes (the textual DL-Lite grammar and OWL 2 QL
+  functional style) round-trip: ``parse(serialize(T)) == T``.
 """
 
 from __future__ import annotations
@@ -127,6 +129,84 @@ def test_implication_checker_never_crashes_and_is_sound(tbox, axiom):
     checker = ImplicationChecker.for_tbox(tbox)
     if checker.entails(axiom):
         assert find_countermodel(tbox, axiom, max_domain=2) is None
+
+
+# -- serializer round-trips ---------------------------------------------------
+#
+# A wider axiom strategy than the classification one: attributes and
+# functionality participate, because the serializers have dedicated code
+# paths for them (DataSomeValuesFrom, DisjointDataProperties, funct).
+
+from repro.dllite import (  # noqa: E402 — grouped with the strategies below
+    AtomicAttribute,
+    AttributeDomain,
+    AttributeInclusion,
+    FunctionalAttribute,
+    FunctionalRole,
+    NegatedAttribute,
+    parse_owl_functional,
+    parse_tbox,
+    serialize_owl_functional,
+    serialize_tbox,
+)
+
+ATTRIBUTES = [AtomicAttribute(f"U{i}") for i in range(2)]
+attributes_st = st.sampled_from(ATTRIBUTES)
+rich_basics_st = st.one_of(
+    basics_st, st.builds(AttributeDomain, attributes_st)
+)
+rich_axiom_st = st.one_of(
+    axiom_st,
+    st.builds(ConceptInclusion, rich_basics_st, rich_basics_st),
+    st.builds(AttributeInclusion, attributes_st, attributes_st),
+    st.builds(
+        AttributeInclusion,
+        attributes_st,
+        st.builds(NegatedAttribute, attributes_st),
+    ),
+    st.builds(FunctionalRole, basic_roles_st),
+    st.builds(FunctionalAttribute, attributes_st),
+)
+
+
+def build_rich_tbox(axioms) -> TBox:
+    tbox = build_tbox(axioms)
+    for attribute in ATTRIBUTES:
+        tbox.declare(attribute)
+    return tbox
+
+
+rich_tbox_st = st.lists(rich_axiom_st, min_size=0, max_size=10).map(build_rich_tbox)
+
+
+@given(rich_tbox_st)
+@_settings
+def test_textual_syntax_round_trips(tbox):
+    """parse_tbox(serialize_tbox(T)) reproduces T axiom-for-axiom."""
+    parsed = parse_tbox(serialize_tbox(tbox), name=tbox.name)
+    assert set(parsed) == set(tbox)
+    assert parsed.signature == tbox.signature
+
+
+@given(rich_tbox_st)
+@_settings
+def test_owl_functional_syntax_round_trips(tbox):
+    """parse_owl_functional(serialize_owl_functional(T)) reproduces T."""
+    parsed = parse_owl_functional(serialize_owl_functional(tbox))
+    assert set(parsed.tbox) == set(tbox)
+    assert parsed.tbox.signature == tbox.signature
+
+
+@given(rich_tbox_st)
+@_settings
+def test_round_trip_preserves_classification(tbox):
+    """Re-parsed ontologies classify identically (both syntaxes)."""
+    engine = make_reasoner("quonto-graph")
+    original = engine.classify_named(tbox)
+    via_text = parse_tbox(serialize_tbox(tbox))
+    via_owl = parse_owl_functional(serialize_owl_functional(tbox)).tbox
+    assert original.agrees_with(engine.classify_named(via_text))
+    assert original.agrees_with(engine.classify_named(via_owl))
 
 
 @given(

@@ -1,0 +1,204 @@
+"""Edge cases of the resilience layer the happy-path suites skip.
+
+Covers zero/negative budget allowances, retry exhaustion *inside* a
+fallback chain, and fault injection composed with budgets — the places
+where two resilience mechanisms interact and the contract ("typed error
+or degraded answer, never a bare exception, never a hang") is easiest
+to break.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.baselines import make_reasoner
+from repro.errors import (
+    DegradedResult,
+    PermanentSourceError,
+    TimeoutExceeded,
+    TransientSourceError,
+)
+from repro.runtime.budget import Budget, Deadline
+from repro.runtime.fallback import FallbackChain
+from repro.runtime.faults import FaultInjector, FaultSpec, FaultyReasoner
+from repro.runtime.retry import RetryPolicy
+
+
+class TestDegenerateBudgets:
+    def test_zero_budget_raises_immediately(self):
+        budget = Budget(0.0, task="zero")
+        with pytest.raises(TimeoutExceeded) as info:
+            budget.check()
+        assert "zero" in str(info.value)
+
+    def test_negative_budget_behaves_like_zero(self):
+        budget = Budget(-1.0, task="negative")
+        assert budget.expired()
+        assert budget.remaining_s < 0
+        with pytest.raises(TimeoutExceeded):
+            budget.check()
+
+    def test_zero_budget_scoped_child_also_raises(self):
+        child = Budget(0.0, task="parent").scoped("child")
+        with pytest.raises(TimeoutExceeded) as info:
+            child.check()
+        assert "child" in str(info.value)
+
+    def test_expired_deadline(self):
+        deadline = Deadline.after(-0.5)
+        assert deadline.expired()
+        assert deadline.remaining_s() < 0
+
+    def test_tick_with_stride_one_is_check(self):
+        budget = Budget(0.0, task="tick")
+        with pytest.raises(TimeoutExceeded):
+            budget.tick(stride=1)
+
+    def test_classification_under_zero_budget(self, county_tbox):
+        engine = make_reasoner("quonto-graph")
+        with pytest.raises(TimeoutExceeded):
+            engine.classify_named(county_tbox, watch=Budget(0.0, task="classify"))
+
+
+class TestRetryEdgeCases:
+    def test_single_attempt_policy_never_retries(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise TransientSourceError("blip")
+
+        policy = RetryPolicy(max_attempts=1, base_delay_s=0.0)
+        with pytest.raises(PermanentSourceError):
+            policy.call(flaky, task="one-shot")
+        assert len(calls) == 1
+
+    def test_exhaustion_preserves_the_cause(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+
+        def always_down():
+            raise TransientSourceError("still down")
+
+        with pytest.raises(PermanentSourceError) as info:
+            policy.call(always_down, task="exhaust")
+        assert isinstance(info.value.__cause__, TransientSourceError)
+
+    def test_zero_budget_wins_over_retries(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.0)
+
+        def always_down():
+            raise TransientSourceError("blip")
+
+        with pytest.raises(TimeoutExceeded):
+            policy.call(always_down, task="r", budget=Budget(0.0, task="outer"))
+
+    def test_delays_never_sleep_past_the_deadline(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3,
+            base_delay_s=10.0,
+            jitter=0.0,
+            sleep=slept.append,
+        )
+        budget = Budget(0.05, task="cap")
+
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise TransientSourceError("blip")
+            return "ok"
+
+        assert policy.call(flaky, task="capped", budget=budget) == "ok"
+        assert slept and all(delay <= 0.05 for delay in slept)
+
+
+class _AlwaysTransientReasoner:
+    """A reasoner whose backing source never comes back up."""
+
+    name = "always-transient"
+    complete = True
+
+    def __init__(self, policy: RetryPolicy):
+        self.policy = policy
+        self.inner = make_reasoner("quonto-graph")
+        self.calls = 0
+
+    def _touch_source(self):
+        self.calls += 1
+        raise TransientSourceError("source flapping")
+
+    def classify_named(self, tbox, watch=None):
+        # exhausts its retry policy, then surfaces PermanentSourceError
+        self.policy.call(self._touch_source, task="flaky source", budget=watch)
+        return self.inner.classify_named(tbox, watch=watch)
+
+
+class TestRetryInsideFallbackChain:
+    def test_retry_exhaustion_falls_through_to_the_anchor(self, county_tbox):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        flaky = _AlwaysTransientReasoner(policy)
+        chain = FallbackChain([flaky, make_reasoner("quonto-graph")], warn=False)
+        result = chain.classify_with_report(county_tbox)
+        assert result.served_by == "quonto-graph"
+        assert result.degraded
+        assert flaky.calls == 3  # the whole retry allowance was consumed
+        assert [a.outcome for a in result.attempts] == ["source error", "ok"]
+
+    def test_exhaustion_on_the_anchor_propagates_typed(self, county_tbox):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.0)
+        chain = FallbackChain([_AlwaysTransientReasoner(policy)], warn=False)
+        with pytest.raises(PermanentSourceError):
+            chain.classify_named(county_tbox)
+
+    def test_degraded_result_warns(self, county_tbox):
+        policy = RetryPolicy(max_attempts=1, base_delay_s=0.0)
+        chain = FallbackChain(
+            [_AlwaysTransientReasoner(policy), make_reasoner("quonto-graph")]
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            chain.classify_named(county_tbox)
+        assert any(issubclass(w.category, DegradedResult) for w in caught)
+
+
+class TestFaultsComposedWithBudgets:
+    def test_permanently_down_engine_with_zero_budget_anchor(self, county_tbox):
+        injector = FaultInjector(FaultSpec(permanent_after=0))
+        down = FaultyReasoner(make_reasoner("saturation"), injector)
+        chain = FallbackChain([down, make_reasoner("quonto-graph")], warn=False)
+        # healthy path first: the chain absorbs the permanent outage
+        assert chain.classify_with_report(county_tbox).served_by == "quonto-graph"
+        # and with an exhausted caller watch, the anchor times out typed
+        with pytest.raises(TimeoutExceeded):
+            chain.classify_named(county_tbox, watch=Budget(0.0, task="outer"))
+
+    def test_transient_faults_under_budget_stay_typed(self, county_tbox):
+        injector = FaultInjector(FaultSpec(transient_rate=1.0, seed=3))
+        flaky = FaultyReasoner(make_reasoner("saturation"), injector)
+        chain = FallbackChain([flaky, make_reasoner("quonto-graph")], warn=False)
+        result = chain.classify_with_report(
+            county_tbox, watch=Budget(30.0, task="bounded")
+        )
+        assert result.served_by == "quonto-graph"
+        assert result.attempts[0].outcome == "source error"
+        assert injector.transients_injected == 1
+
+    def test_injector_counters_are_deterministic(self):
+        first = FaultInjector(FaultSpec(transient_rate=0.5, seed=9))
+        second = FaultInjector(FaultSpec(transient_rate=0.5, seed=9))
+
+        def drive(injector):
+            outcomes = []
+            for call in range(20):
+                try:
+                    injector.before_call(f"call:{call}")
+                    outcomes.append("ok")
+                except TransientSourceError:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert drive(first) == drive(second)

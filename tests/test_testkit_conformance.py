@@ -1,0 +1,112 @@
+"""End-to-end tests for the conformance runner and its CLI command."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.testkit import ConformanceConfig, ConformanceReport, run_conformance
+from repro.testkit.generators import FuzzProfile
+
+#: Small-but-real campaign knobs: every check family runs at least once.
+_FAST = dict(
+    rounds=3,
+    semantics_every=1,
+    obda_every=1,
+    profile=FuzzProfile(max_concepts=12, max_roles=4),
+)
+
+
+def test_campaign_is_conformant_and_counts_checks():
+    report = run_conformance(ConformanceConfig(seed=7, **_FAST))
+    assert report.ok
+    assert report.rounds_run == 3
+    # per round: diff + metamorphic, plus semantics (x2 checks) and obda
+    assert report.checks_run >= 3 * 3
+    assert not report.stopped_early
+    assert "conformant" in report.summary()
+
+
+def test_campaign_is_deterministic():
+    first = run_conformance(ConformanceConfig(seed=11, **_FAST))
+    second = run_conformance(ConformanceConfig(seed=11, **_FAST))
+    assert (first.rounds_run, first.checks_run) == (
+        second.rounds_run,
+        second.checks_run,
+    )
+    assert [str(p) for p in first.disagreements] == [
+        str(p) for p in second.disagreements
+    ]
+
+
+def test_exhausted_budget_is_an_orderly_early_stop():
+    report = run_conformance(
+        ConformanceConfig(seed=7, rounds=50, budget_s=0.0)
+    )
+    assert report.stopped_early
+    assert report.rounds_run < 50
+    assert report.ok  # an early stop is not a disagreement
+    assert "stopped early" in report.summary()
+
+
+def test_report_summary_mentions_disagreements():
+    from repro.testkit import Disagreement
+
+    report = ConformanceReport(config=ConformanceConfig())
+    report.disagreements.append(Disagreement("unsat", "a", "b", "detail"))
+    assert not report.ok
+    assert "1 disagreement(s)" in report.summary()
+
+
+class TestCli:
+    def test_conformance_command_smoke(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "--seed",
+                "7",
+                "--rounds",
+                "2",
+                "--semantics-every",
+                "1",
+                "--obda-every",
+                "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "conformance seed=7" in output
+        assert "conformant" in output
+
+    def test_engine_subset_and_budget_flags(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "--seed",
+                "3",
+                "--rounds",
+                "2",
+                "--engines",
+                "quonto-graph,saturation",
+                "--budget",
+                "30",
+                "--no-shrink",
+            ]
+        )
+        assert code == 0
+        assert "conformance seed=3" in capsys.readouterr().out
+
+    def test_regression_dir_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "conformance",
+                "--seed",
+                "5",
+                "--rounds",
+                "1",
+                "--regressions",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # a conformant run writes no reproducers
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,154 @@
+"""Unit tests for the metamorphic invariant battery of ``repro.testkit``."""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import make_reasoner
+from repro.baselines.base import NamedClassification
+from repro.dllite import TBox
+from repro.testkit import (
+    check_duplication,
+    check_entailed_addition,
+    check_module_preservation,
+    check_order_irrelevance,
+    check_renaming,
+    check_union_monotonicity,
+    run_metamorphic_checks,
+)
+from repro.testkit.generators import FuzzProfile, random_profile_tbox
+from repro.testkit.transform import (
+    random_renaming,
+    rename_tbox,
+    reorder_tbox,
+)
+
+
+def _tbox(seed: str) -> TBox:
+    return random_profile_tbox(random.Random(seed), FuzzProfile(max_concepts=15))
+
+
+class TestInvariantsHoldOnHealthyEngines:
+    def test_full_battery_on_fixture(self, county_tbox):
+        rng = random.Random("meta-fixture")
+        other = _tbox("meta-other")
+        assert run_metamorphic_checks(county_tbox, rng, other=other) == []
+
+    def test_full_battery_on_random_profiles(self):
+        for seed in ("m1", "m2", "m3"):
+            rng = random.Random(seed)
+            tbox = _tbox(seed)
+            assert run_metamorphic_checks(tbox, rng, other=_tbox(seed + "x")) == []
+
+    def test_battery_on_every_default_engine(self, university_tbox):
+        for name in ("saturation", "tableau-pairwise", "tableau-dense"):
+            rng = random.Random(f"meta-{name}")
+            engine = make_reasoner(name)
+            assert run_metamorphic_checks(university_tbox, rng, engine) == []
+
+
+class TestTransforms:
+    def test_renaming_is_injective_and_invertible(self, county_tbox):
+        rng = random.Random("ren")
+        renaming = random_renaming(rng, county_tbox)
+        names = set(county_tbox.signature)
+        mapped = {renaming(p.name) for p in names}
+        assert len(mapped) == len(names)
+        inverse = renaming.inverse()
+        assert {inverse(name) for name in mapped} == {p.name for p in names}
+
+    def test_rename_tbox_preserves_axiom_count(self, university_tbox):
+        rng = random.Random("ren2")
+        renamed = rename_tbox(university_tbox, random_renaming(rng, university_tbox))
+        assert len(renamed) == len(university_tbox)
+        assert set(renamed.signature) != set(university_tbox.signature)
+
+    def test_reorder_preserves_axiom_set(self, university_tbox):
+        shuffled = reorder_tbox(university_tbox, random.Random("ord"))
+        assert set(shuffled) == set(university_tbox)
+        duplicated = reorder_tbox(
+            university_tbox, random.Random("dup"), duplicate=True
+        )
+        assert set(duplicated) == set(university_tbox)
+
+
+class _ForgetfulEngine:
+    """Classifies correctly, then forgets everything about the last axiom.
+
+    Order-sensitive on purpose: reordering changes which axiom is "last",
+    so the order/duplication invariants must flag it.
+    """
+
+    name = "forgetful"
+    complete = True
+
+    def __init__(self):
+        self._inner = make_reasoner("quonto-graph")
+
+    def classify_named(self, tbox, watch=None):
+        axioms = list(tbox)
+        trimmed = TBox(axioms[:-1], name=tbox.name) if axioms else tbox
+        for predicate in tbox.signature:
+            trimmed.declare(predicate)
+        return self._inner.classify_named(trimmed, watch=watch)
+
+
+class _RenameSensitiveEngine:
+    """Correct, except it refuses to derive anything about predicate A0."""
+
+    name = "name-biased"
+    complete = True
+
+    def __init__(self):
+        self._inner = make_reasoner("quonto-graph")
+
+    def classify_named(self, tbox, watch=None):
+        honest = self._inner.classify_named(tbox, watch=watch)
+        return NamedClassification(
+            frozenset(
+                axiom
+                for axiom in honest.subsumptions
+                if "A0" not in (axiom.lhs.name, axiom.rhs.name)
+            ),
+            honest.unsatisfiable,
+        )
+
+
+class TestInvariantsCatchPlantedBugs:
+    def test_order_sensitivity_is_caught(self):
+        from repro.dllite import parse_tbox
+
+        # A pure chain: dropping any one axiom loses different subsumptions,
+        # so whatever the shuffle puts last, the trimmed results differ.
+        chain = parse_tbox(
+            "\n".join(f"A{i} isa A{i + 1}" for i in range(6)), name="chain"
+        )
+        rng = random.Random("catch-order")
+        problems = check_order_irrelevance(chain, rng, _ForgetfulEngine())
+        assert problems and problems[0].kind == "metamorphic:order"
+
+    def test_renaming_sensitivity_is_caught(self):
+        from repro.dllite import parse_tbox
+
+        tbox = parse_tbox("A0 isa A1\nA1 isa A2", name="biased")
+        rng = random.Random("catch-rename")
+        problems = check_renaming(tbox, rng, _RenameSensitiveEngine())
+        assert problems and problems[0].kind == "metamorphic:renaming"
+
+
+class TestIndividualInvariants:
+    def test_duplication_and_entailed_addition(self, university_tbox):
+        rng = random.Random("indiv")
+        assert check_duplication(university_tbox, rng) == []
+        assert check_entailed_addition(university_tbox, rng) == []
+
+    def test_module_preservation(self, county_tbox, university_tbox):
+        assert check_module_preservation(county_tbox) == []
+        merged = county_tbox.copy(name="merged")
+        merged.extend(university_tbox)
+        for predicate in university_tbox.signature:
+            merged.declare(predicate)
+        assert check_module_preservation(merged) == []
+
+    def test_union_monotonicity(self, county_tbox, university_tbox):
+        assert check_union_monotonicity(county_tbox, university_tbox) == []

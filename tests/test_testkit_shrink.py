@@ -1,0 +1,127 @@
+"""Unit tests for the deterministic ddmin shrinker of ``repro.testkit``."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import make_reasoner
+from repro.dllite import (
+    AtomicConcept,
+    ConceptInclusion,
+    NegatedConcept,
+    TBox,
+    parse_tbox,
+)
+from repro.errors import TimeoutExceeded
+from repro.runtime.budget import Budget
+from repro.testkit import shrink_axioms, write_reproducer
+from repro.testkit.shrink import shrink_tbox
+
+
+def _noise_axioms(count: int):
+    return [
+        ConceptInclusion(AtomicConcept(f"N{i}"), AtomicConcept(f"N{i + 1}"))
+        for i in range(count)
+    ]
+
+
+def test_planted_bug_minimizes_to_its_core():
+    """Acceptance criterion: a planted bug shrinks to ≤ 5 axioms.
+
+    The "bug" is an unsatisfiability planted inside 40 axioms of taxonomy
+    noise; its semantic core is the 2-axiom set {X ⊑ Y, Y ⊑ ¬X}.  The
+    still-fails predicate re-runs the real graph classifier, so this is
+    shrinking exactly the way the conformance runner does.
+    """
+    X, Y = AtomicConcept("X"), AtomicConcept("Y")
+    core = [ConceptInclusion(X, Y), ConceptInclusion(Y, NegatedConcept(X))]
+    noise = _noise_axioms(40)
+    rng = random.Random("plant")
+    axioms = noise[:]
+    for axiom in core:
+        axioms.insert(rng.randrange(len(axioms) + 1), axiom)
+    engine = make_reasoner("quonto-graph")
+
+    def still_unsat(candidate):
+        result = engine.classify_named(TBox(candidate, name="cand"))
+        return X in result.unsatisfiable
+
+    minimal = shrink_axioms(axioms, still_unsat)
+    assert len(minimal) <= 5
+    assert set(minimal) == set(core)
+
+
+def test_result_is_one_minimal():
+    axioms = _noise_axioms(12)
+    target = {axioms[2], axioms[7], axioms[9]}
+
+    def still_fails(candidate):
+        return target <= set(candidate)
+
+    minimal = shrink_axioms(axioms, still_fails)
+    assert set(minimal) == target
+    for index in range(len(minimal)):
+        assert not still_fails(minimal[:index] + minimal[index + 1 :])
+
+
+def test_shrinking_is_deterministic():
+    axioms = _noise_axioms(20)
+    target = {axioms[3], axioms[11]}
+
+    def still_fails(candidate):
+        return target <= set(candidate)
+
+    first = shrink_axioms(list(axioms), still_fails)
+    second = shrink_axioms(list(axioms), still_fails)
+    assert first == second
+
+
+def test_non_reproducing_input_is_rejected():
+    with pytest.raises(ValueError):
+        shrink_axioms(_noise_axioms(4), lambda candidate: False)
+
+
+def test_budget_bounds_the_search():
+    axioms = _noise_axioms(30)
+    exhausted = Budget(0.0, task="shrink")
+
+    def still_fails(candidate):
+        return axioms[0] in candidate
+
+    with pytest.raises(TimeoutExceeded):
+        shrink_axioms(axioms, still_fails, budget=exhausted)
+
+
+def test_shrink_tbox_rebuilds_signature_from_survivors():
+    tbox = parse_tbox(
+        """
+        concept A, B, Spare
+        role unusedRole
+        A isa B
+        B isa not A
+        """,
+        name="sig",
+    )
+    engine = make_reasoner("quonto-graph")
+
+    def still_fails(candidate):
+        result = engine.classify_named(candidate)
+        return AtomicConcept("A") in result.unsatisfiable
+
+    minimal = shrink_tbox(tbox, still_fails)
+    assert len(minimal) == 2
+    assert AtomicConcept("Spare") not in minimal.signature
+
+
+def test_write_reproducer_round_trips_and_deduplicates(tmp_path):
+    tbox = parse_tbox("A isa B\nB isa not A", name="repro")
+    first = write_reproducer(tmp_path, "seed7 round3: unsat", tbox, note="why\nhow")
+    second = write_reproducer(tmp_path, "seed7 round3: unsat", tbox)
+    assert first != second and first.exists() and second.exists()
+    content = first.read_text()
+    assert content.startswith("# minimized conformance reproducer")
+    assert "# why" in content and "# how" in content
+    replayed = parse_tbox(content, name="replayed")
+    assert set(replayed) == set(tbox)
