@@ -1,0 +1,129 @@
+"""Benchmark P1 — the hot-path performance layer (caches + pruning).
+
+Two measurements, both fully deterministic:
+
+* **cold vs warm** — :func:`repro.perf.report.run_perf_report` answers a
+  seeded corpus-profile workload twice on one
+  :class:`~repro.obda.system.OBDASystem`; the warm pass must be served
+  by the canonical answer/rewriting caches and the shared indexed
+  extents, at least 10x faster than the cold pass;
+* **pruning witness** — a university-style TBox where PerfectRef
+  provably produces a subsumed disjunct (``Teacher isa exists teaches``
+  makes ``q(x) :- Teacher(x)`` subsume ``q(x) :- Teacher(x),
+  teaches(x, y)``), so subsumption pruning must shrink the rewriting.
+
+Run standalone (``python benchmarks/bench_perf_cache.py``) or under
+pytest; either way the results land in ``BENCH_perf.json`` at the
+repository root and the pass/fail thresholds double as regression
+checks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+PROFILE = "Mouse"
+SCALE = 0.25
+SEED = 7
+QUERIES = 6
+REPEATS = 3
+
+PRUNING_TBOX = """
+role teaches
+Professor isa Teacher
+Teacher isa Person
+Teacher isa exists teaches
+exists teaches isa Teacher
+exists teaches^- isa Course
+"""
+
+PRUNING_QUERY = "q(x) :- Teacher(x), teaches(x, y)"
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def pruning_witness() -> dict:
+    """Disjunct counts before/after pruning on the witness query."""
+    from repro.dllite import parse_tbox
+    from repro.obda import parse_query, perfect_ref
+    from repro.perf import prune_ucq
+
+    raw = perfect_ref(
+        parse_query(PRUNING_QUERY), parse_tbox(PRUNING_TBOX), minimize=False
+    )
+    pruned = prune_ucq(raw)
+    return {
+        "query": PRUNING_QUERY,
+        "disjuncts_before": pruned.before,
+        "disjuncts_after": pruned.after,
+        "dropped": pruned.dropped,
+    }
+
+
+def build_payload() -> dict:
+    from repro.perf.report import run_perf_report
+
+    report = run_perf_report(
+        profile=PROFILE, scale=SCALE, seed=SEED, queries=QUERIES, repeats=REPEATS
+    )
+    return {
+        "harness": "bench_perf_cache",
+        "report": report,
+        "pruning_witness": pruning_witness(),
+    }
+
+
+def write_payload(payload: dict) -> Path:
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return OUTPUT
+
+
+def test_warm_pass_serves_from_caches():
+    payload = build_payload()
+    write_payload(payload)
+    report = payload["report"]
+    assert report["coherent"], "warm answers diverged from cold answers"
+    timings = report["timings"]
+    assert timings["speedup"] >= 10, (
+        f"warm pass only {timings['speedup']}x faster than cold "
+        f"({timings['warm_s']}s vs {timings['cold_s']}s)"
+    )
+    caches = report["caches"]
+    assert caches["answers"]["hits"] > 0
+    assert caches["rewriting"]["hits"] > 0
+
+
+def test_pruning_shrinks_the_witness_rewriting():
+    witness = pruning_witness()
+    assert witness["disjuncts_after"] < witness["disjuncts_before"], (
+        f"pruning kept all {witness['disjuncts_before']} disjuncts of "
+        f"{witness['query']}"
+    )
+
+
+def main() -> int:
+    payload = build_payload()
+    path = write_payload(payload)
+    report = payload["report"]
+    witness = payload["pruning_witness"]
+    print(
+        f"cold {report['timings']['cold_s'] * 1000:.1f}ms, "
+        f"warm {report['timings']['warm_s'] * 1000:.1f}ms "
+        f"(speedup {report['timings']['speedup']}x)"
+    )
+    print(
+        f"pruning witness: {witness['disjuncts_before']} -> "
+        f"{witness['disjuncts_after']} disjuncts"
+    )
+    print(f"wrote {path}")
+    healthy = (
+        report["coherent"]
+        and report["timings"]["speedup"] >= 10
+        and witness["disjuncts_after"] < witness["disjuncts_before"]
+    )
+    return 0 if healthy else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

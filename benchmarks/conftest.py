@@ -1,1 +1,56 @@
-"""Benchmark-suite conftest (kept minimal; see repro_bench_util)."""
+"""Benchmark-suite conftest.
+
+Besides the shared helpers in :mod:`repro_bench_util`, this hooks the
+end of every pytest-benchmark session and writes the collected timings
+as machine-readable JSON: one ``BENCH_<suite>.json`` file per benchmark
+module (``bench_rewriting.py`` -> ``BENCH_rewriting.json``), at the
+repository root.  Each entry records the per-round statistics plus the
+benchmark's ``extra_info`` (method, size, answer counts, ...), so runs
+can be diffed or plotted without re-parsing pytest output.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+
+
+def _stat(stats, field):
+    try:
+        value = getattr(stats, field)
+    except Exception:
+        return None
+    return float(value)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    by_module = defaultdict(list)
+    for bench in bench_session.benchmarks:
+        module = Path(str(bench.fullname).split("::", 1)[0]).stem
+        stats = bench.stats
+        by_module[module].append(
+            {
+                "name": bench.name,
+                "fullname": bench.fullname,
+                "rounds": getattr(stats, "rounds", None),
+                "mean_s": _stat(stats, "mean"),
+                "min_s": _stat(stats, "min"),
+                "max_s": _stat(stats, "max"),
+                "stddev_s": _stat(stats, "stddev"),
+                "extra_info": dict(getattr(bench, "extra_info", {}) or {}),
+            }
+        )
+    root = Path(str(session.config.rootpath))
+    for module, entries in sorted(by_module.items()):
+        suite = module[len("bench_"):] if module.startswith("bench_") else module
+        path = root / f"BENCH_{suite}.json"
+        path.write_text(
+            json.dumps(
+                {"module": module, "benchmarks": entries}, indent=2, sort_keys=True
+            )
+        )
+        print(f"\nwrote {path}")

@@ -79,13 +79,21 @@ class ABox:
         self._concept_index: Dict[AtomicConcept, Set[Individual]] = {}
         self._role_index: Dict[AtomicRole, Set[Tuple[Individual, Individual]]] = {}
         self._attribute_index: Dict[AtomicAttribute, Set[Tuple[Individual, object]]] = {}
+        #: mutation counter; extent/index caches key their validity on it
+        self._generation = 0
         for assertion in assertions:
             self.add(assertion)
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter (cache invalidation hook)."""
+        return self._generation
 
     def add(self, assertion: Assertion) -> bool:
         if assertion in self._assertions:
             return False
         self._assertions.add(assertion)
+        self._generation += 1
         if isinstance(assertion, ConceptAssertion):
             self._concept_index.setdefault(assertion.concept, set()).add(
                 assertion.individual

@@ -99,6 +99,10 @@ class TBox:
         self.name = name
         self._axioms: List[Axiom] = []
         self._seen: Set[Axiom] = set()
+        #: mutation counter — bumped by every change to axioms or the
+        #: declared signature, so fingerprint-keyed caches (classification
+        #: memoization, rewriting caches) can detect TBox change cheaply.
+        self._generation = 0
         self.signature = Signature()
         #: free-text design notes attached to axioms (workflow step (i):
         #: the graphical design "can be enriched with auxiliary
@@ -133,6 +137,7 @@ class TBox:
             return False
         self._seen.add(axiom)
         self._axioms.append(axiom)
+        self._generation += 1
         for predicate in axiom_signature(axiom):
             self.signature.add(predicate)
         return True
@@ -143,6 +148,8 @@ class TBox:
 
     def declare(self, predicate) -> None:
         """Declare an atomic predicate without asserting any axiom on it."""
+        if predicate not in self.signature:
+            self._generation += 1
         self.signature.add(predicate)
 
     def discard(self, axiom: Axiom) -> bool:
@@ -151,7 +158,13 @@ class TBox:
             return False
         self._seen.discard(axiom)
         self._axioms.remove(axiom)
+        self._generation += 1
         return True
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter (see :mod:`repro.perf.fingerprint`)."""
+        return self._generation
 
     # -- inspection ----------------------------------------------------------
 

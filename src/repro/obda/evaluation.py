@@ -4,12 +4,21 @@ A UCQ produced by a rewriter is evaluated against *extent providers*:
 
 * :class:`ABoxExtents` — classic knowledge-base mode;
 * :class:`MappingExtents` — OBDA mode, pulling each predicate's extent
-  through the mappings from the relational sources (cached per query);
+  through the mappings from the relational sources.  Extents are cached
+  **across queries** and invalidated by the database's generation
+  counter (or explicitly via :meth:`ExtentProvider.invalidate`), so a
+  workload of many queries pulls each predicate from the sources once;
 * :class:`DatalogExtents` — wraps another provider with the auxiliary
   predicates of a Presto :class:`~repro.obda.rewriting.presto.DatalogRewriting`.
 
 Conjunctive queries are evaluated by a backtracking join that orders
-atoms greedily by current extent size.
+atoms greedily by current extent size and probes each later atom through
+a **per-argument-position hash index**.  Indexes are built lazily and
+cached *on the provider* (keyed by predicate and key positions), so
+repeated and structurally similar queries share index-construction work
+instead of re-hashing full extents per query.  Index construction polls
+the budget and installs the index only on completion, so a timeout never
+leaves a partial index behind.
 """
 
 from __future__ import annotations
@@ -32,44 +41,143 @@ __all__ = [
     "evaluate_ucq",
 ]
 
+#: predicate name + key argument positions — one hash index per pair
+IndexKey = Tuple[str, Tuple[int, ...]]
+
 
 class ExtentProvider:
-    """Maps predicate names to their extents (sets of 1- or 2-tuples)."""
+    """Maps predicate names to their extents (sets of 1- or 2-tuples).
+
+    Besides raw extents, providers serve per-argument-position hash
+    indexes (:meth:`index`) used by the join evaluator.  The default
+    implementation caches indexes on the provider and revalidates them
+    against :meth:`generation` on every access, so subclasses only need
+    to report a changing generation to get correct invalidation.
+    """
 
     def extent(self, predicate: str, arity: int) -> Set[Tuple]:
         raise NotImplementedError
 
+    def generation(self) -> int:
+        """Monotone data-version counter; 0 for immutable providers."""
+        return 0
+
+    def invalidate(self) -> None:
+        """Drop cached indexes (subclasses also drop cached extents)."""
+        self.__dict__.pop("_index_cache", None)
+        self.__dict__.pop("_index_generation", None)
+
+    def index(
+        self,
+        predicate: str,
+        arity: int,
+        positions: Tuple[int, ...],
+        budget: Optional[Budget] = None,
+    ) -> Dict[Tuple, List[Tuple]]:
+        """Rows of *predicate* hashed by the values at *positions*.
+
+        ``positions == ()`` degenerates to one bucket holding the whole
+        extent (the leading atom of a join plan).  The index is built
+        lazily, cached across queries, and rebuilt when
+        :meth:`generation` moves.  Construction ticks *budget*; on
+        exhaustion the partially built index is discarded with the
+        raised :class:`~repro.errors.TimeoutExceeded`.
+        """
+        cache: Optional[Dict[IndexKey, Dict]] = self.__dict__.get("_index_cache")
+        if cache is None or self.__dict__.get("_index_generation") != self.generation():
+            cache = {}
+            self._index_cache = cache
+            self._index_generation = self.generation()
+        key: IndexKey = (predicate, positions)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        index: Dict[Tuple, List[Tuple]] = {}
+        for row in self.extent(predicate, arity):
+            if budget is not None:
+                budget.tick()
+            index.setdefault(tuple(row[i] for i in positions), []).append(row)
+        cache[key] = index
+        return index
+
 
 class ABoxExtents(ExtentProvider):
-    """Extents drawn from an explicit ABox."""
+    """Extents drawn from an explicit ABox.
+
+    Extents are assembled once per predicate and cached until the ABox's
+    generation counter moves (any successful ``add``).
+    """
 
     def __init__(self, abox: ABox):
         self.abox = abox
+        self._cache: Dict[str, Set[Tuple]] = {}
+        self._generation = self._abox_generation()
+
+    def _abox_generation(self) -> int:
+        return getattr(self.abox, "generation", 0)
+
+    def generation(self) -> int:
+        return self._abox_generation()
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+        self._generation = self._abox_generation()
+        super().invalidate()
 
     def extent(self, predicate: str, arity: int) -> Set[Tuple]:
+        if self._abox_generation() != self._generation:
+            self.invalidate()
+        cached = self._cache.get(predicate)
+        if cached is not None:
+            return cached
         if arity == 1:
-            return {
+            extent: Set[Tuple] = {
                 (individual,)
                 for individual in self.abox.concept_instances(AtomicConcept(predicate))
             }
-        pairs: Set[Tuple] = set(self.abox.role_pairs(AtomicRole(predicate)))
-        pairs |= self.abox.attribute_pairs(AtomicAttribute(predicate))
-        return pairs
+        else:
+            extent = set(self.abox.role_pairs(AtomicRole(predicate)))
+            extent |= self.abox.attribute_pairs(AtomicAttribute(predicate))
+        self._cache[predicate] = extent
+        return extent
 
 
 class MappingExtents(ExtentProvider):
-    """Extents unfolded through the mappings from the source database."""
+    """Extents unfolded through the mappings from the source database.
+
+    The cache is shared **across queries**: a workload touching the same
+    predicates repeatedly pulls each extent through the mappings exactly
+    once.  Validity is keyed on :attr:`Database.generation`, so any
+    insert or schema change transparently invalidates both the extent
+    and the index caches; :meth:`invalidate` forces the same drop
+    explicitly.
+    """
 
     def __init__(self, mappings: MappingCollection, database: Database):
         self.mappings = mappings
         self.database = database
         self._cache: Dict[str, Set[Tuple]] = {}
+        self._generation = database.generation
+        #: extents actually unfolded from the sources (cache misses);
+        #: the regression tests and perf-report read this.
+        self.pulls = 0
+
+    def generation(self) -> int:
+        return self.database.generation
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+        self._generation = self.database.generation
+        super().invalidate()
 
     def extent(self, predicate: str, arity: int) -> Set[Tuple]:
+        if self.database.generation != self._generation:
+            self.invalidate()
         cached = self._cache.get(predicate)
         if cached is None:
             cached = self.mappings.predicate_extent(self.database, predicate)
             self._cache[predicate] = cached
+            self.pulls += 1
         return cached
 
 
@@ -78,15 +186,28 @@ class DatalogExtents(ExtentProvider):
 
     All rules are flat (single base atom bodies over ``x``/``y``), so an
     auxiliary extent is a union of base extents with optional argument
-    swapping and projection.
+    swapping and projection.  Derived extents are cached and revalidated
+    against the *base* provider's generation, so database changes
+    propagate through the whole provider stack.
     """
 
     def __init__(self, rewriting, base: ExtentProvider):
         self.rewriting = rewriting
         self.base = base
         self._cache: Dict[str, Set[Tuple]] = {}
+        self._base_generation = base.generation()
+
+    def generation(self) -> int:
+        return self.base.generation()
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+        self._base_generation = self.base.generation()
+        super().invalidate()
 
     def extent(self, predicate: str, arity: int) -> Set[Tuple]:
+        if self.base.generation() != self._base_generation:
+            self.invalidate()
         rules = self.rewriting.rules_by_head.get(predicate)
         if rules is None:
             return self.base.extent(predicate, arity)
@@ -121,9 +242,10 @@ def evaluate_cq(
     """All answer tuples of *cq* over *extents* (set semantics).
 
     Atoms are ordered greedily (smallest extent first, connected atoms
-    preferred); each later atom is then probed through a hash index built
-    on the positions its earlier neighbours bind, so joins cost
-    output-size instead of cross-product.
+    preferred); each later atom is then probed through a hash index on
+    the positions its earlier neighbours bind.  Indexes come from
+    :meth:`ExtentProvider.index`, so they persist across queries with
+    the same probe shape instead of being rebuilt per evaluation.
 
     With a *budget*, the join recursion polls it (amortized) and aborts
     with :class:`~repro.errors.TimeoutExceeded` instead of running an
@@ -152,10 +274,9 @@ def evaluate_cq(
     # variable, or variable bound by an earlier atom) — fixed per ordering.
     plans = []
     seen_vars: Set[Variable] = set()
-    for atom, rows in ordered:
+    for atom, _rows in ordered:
         key_positions: List[int] = []
         key_terms: List = []
-        local_seen: Set[Variable] = set()
         for position, term in enumerate(atom.args):
             if isinstance(term, Constant):
                 key_positions.append(position)
@@ -163,16 +284,12 @@ def evaluate_cq(
             elif term in seen_vars:
                 key_positions.append(position)
                 key_terms.append(term)
-            else:
-                # first (or repeated within-atom) occurrence of a fresh
-                # variable: bound by this atom itself; within-atom repeats
-                # are enforced by the binding check in the join loop.
-                local_seen.add(term)
-        # index rows by the key positions (constants resolved by string
-        # fallback at probe time, so index on raw values here)
-        index: Dict[Tuple, List[Tuple]] = {}
-        for row in rows:
-            index.setdefault(tuple(row[i] for i in key_positions), []).append(row)
+            # else: first (or repeated within-atom) occurrence of a fresh
+            # variable — bound by this atom itself; within-atom repeats
+            # are enforced by the binding check in the join loop.
+        index = extents.index(
+            atom.predicate, atom.arity, tuple(key_positions), budget=budget
+        )
         plans.append((atom, tuple(key_positions), tuple(key_terms), index))
         seen_vars |= atom.variables()
 

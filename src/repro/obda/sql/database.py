@@ -23,6 +23,19 @@ class Database:
     def __init__(self, name: str = "db"):
         self.name = name
         self._tables: Dict[str, Table] = {}
+        self._structure_generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter covering schema *and* row changes.
+
+        :class:`~repro.obda.evaluation.MappingExtents` snapshots this to
+        invalidate its cross-query extent/index caches the moment any
+        table gains rows or the schema changes.
+        """
+        return self._structure_generation + sum(
+            table.generation for table in self._tables.values()
+        )
 
     def create_table(
         self, name: str, columns: Sequence[str], rows: Iterable[Sequence] = ()
@@ -31,6 +44,7 @@ class Database:
             raise MappingError(f"table {name!r} already exists in database {self.name!r}")
         table = Table(name, columns, rows)
         self._tables[name] = table
+        self._structure_generation += 1
         return table
 
     def add_table(self, table: Table) -> Table:
@@ -39,6 +53,7 @@ class Database:
                 f"table {table.name!r} already exists in database {self.name!r}"
             )
         self._tables[table.name] = table
+        self._structure_generation += 1
         return table
 
     def table(self, name: str) -> Table:

@@ -30,6 +30,8 @@ class Table:
             column: index for index, column in enumerate(self.columns)
         }
         self.rows: List[Row] = []
+        #: mutation counter; virtual-extent caches key their validity on it
+        self.generation = 0
         for row in rows:
             self.insert(row)
 
@@ -40,6 +42,7 @@ class Table:
                 f"({len(self.columns)} columns)"
             )
         self.rows.append(tuple(row))
+        self.generation += 1
 
     def insert_many(self, rows: Iterable[Sequence]) -> None:
         for row in rows:

@@ -99,6 +99,24 @@ class OBDASystem:
 
     Either OBDA mode (``mappings`` + ``database``) or knowledge-base mode
     (an explicit ``abox``) — exactly one of the two.
+
+    Hot-path caching (:mod:`repro.perf`) is **on by default**:
+
+    * classification is memoized in a process-wide cache keyed by the
+      TBox's structural fingerprint, so systems sharing an ontology
+      classify it once;
+    * rewritings, unfoldings and certain answers are cached in bounded
+      LRUs under *canonical* query keys, so alpha-equivalent queries
+      (same shape, renamed variables, reordered atoms) share entries;
+    * the extent provider is shared across queries, with hash-join
+      indexes cached per predicate and invalidated by the database's
+      generation counter.
+
+    All caches are validated against the TBox/data generation counters
+    on every use and only ever store *completed* results (a budget abort
+    propagates before the store).  Pass ``enable_caches=False`` to run
+    every query through the full cold pipeline, or call
+    :meth:`invalidate_caches` to drop the system's caches explicitly.
     """
 
     def __init__(
@@ -107,6 +125,9 @@ class OBDASystem:
         mappings: Optional[MappingCollection] = None,
         database: Optional[Database] = None,
         abox: Optional[ABox] = None,
+        enable_caches: bool = True,
+        cache_size: int = 256,
+        classification_cache=None,
     ):
         if (mappings is None) != (database is None):
             raise ReproError("mappings and database must be provided together")
@@ -116,27 +137,127 @@ class OBDASystem:
         self.mappings = mappings
         self.database = database
         self.abox = abox
+        self.enable_caches = enable_caches
         self._classification: Optional[Classification] = None
-        # Rewritings depend only on the TBox, so they are cached across
-        # queries and consistency checks (str(ucq) is canonical enough:
-        # it renders the parsed disjuncts).
-        self._rewriting_cache: Dict[Tuple[str, str], object] = {}
+        self._classification_generation: Optional[int] = None
         self._violation_rewritings: Optional[List[Tuple[str, UnionQuery]]] = None
+        self._shared_extents: Optional[ExtentProvider] = None
+        self._tbox_generation = getattr(tbox, "generation", 0)
+        if enable_caches:
+            from ..perf import LRUCache, shared_classification_cache
+
+            self._classification_cache = (
+                classification_cache
+                if classification_cache is not None
+                else shared_classification_cache()
+            )
+            # Rewritings/unfoldings depend only on the TBox (and mappings),
+            # not on the data, so they are keyed on canonical query forms;
+            # answers additionally key on the data generation.
+            self._rewriting_cache = LRUCache(cache_size, name="rewriting")
+            self._unfolding_cache = LRUCache(cache_size, name="unfolding")
+            self._answer_cache = LRUCache(cache_size, name="answers")
+            self._datalog_extents = LRUCache(cache_size, name="datalog-extents")
+            self._consistency_cache: Dict[Tuple[int, int], List[str]] = {}
+        else:
+            self._classification_cache = None
+            self._rewriting_cache = None
+            self._unfolding_cache = None
+            self._answer_cache = None
+            self._datalog_extents = None
+            self._consistency_cache = None
+        #: cumulative subsumption-pruning counters (see repro.perf.prune)
+        self.pruning_stats: Dict[str, int] = {"before": 0, "after": 0, "rewrites": 0}
 
     # -- shared infrastructure ---------------------------------------------------
 
+    def _data_generation(self) -> int:
+        if self.database is not None:
+            return self.database.generation
+        return getattr(self.abox, "generation", 0)
+
+    def _validate_caches(self) -> None:
+        """Drop every TBox-derived cache when the TBox has been mutated."""
+        generation = getattr(self.tbox, "generation", 0)
+        if generation == self._tbox_generation:
+            return
+        self._tbox_generation = generation
+        self._classification = None
+        self._classification_generation = None
+        self._violation_rewritings = None
+        if self.enable_caches:
+            self._rewriting_cache.invalidate()
+            self._unfolding_cache.invalidate()
+            self._answer_cache.invalidate()
+            self._datalog_extents.invalidate()
+            self._consistency_cache.clear()
+
+    def invalidate_caches(self) -> None:
+        """Explicitly drop every cache held by this system.
+
+        The shared classification cache is left alone (other systems may
+        be using it); this system will simply re-key into it.  Needed
+        only after out-of-band mutation the generation counters cannot
+        see (e.g. editing a mapping collection in place).
+        """
+        self._classification = None
+        self._classification_generation = None
+        self._violation_rewritings = None
+        if self._shared_extents is not None:
+            self._shared_extents.invalidate()
+        if self.enable_caches:
+            self._rewriting_cache.invalidate()
+            self._unfolding_cache.invalidate()
+            self._answer_cache.invalidate()
+            self._datalog_extents.invalidate()
+            self._consistency_cache.clear()
+
+    def cache_stats(self) -> Dict[str, Dict[str, object]]:
+        """Hit/miss/eviction statistics of every cache this system uses."""
+        if not self.enable_caches:
+            return {}
+        stats = {
+            "classification": self._classification_cache.stats.as_dict(),
+            "rewriting": self._rewriting_cache.stats.as_dict(),
+            "unfolding": self._unfolding_cache.stats.as_dict(),
+            "answers": self._answer_cache.stats.as_dict(),
+        }
+        stats["pruning"] = dict(self.pruning_stats)
+        provider = self._shared_extents
+        if isinstance(provider, MappingExtents):
+            stats["extents"] = {"source_pulls": provider.pulls}
+        return stats
+
     @property
     def classification(self) -> Classification:
+        self._validate_caches()
         if self._classification is None:
-            self._classification = GraphClassifier().classify(self.tbox)
+            if self._classification_cache is not None:
+                self._classification = self._classification_cache.classify(self.tbox)
+            else:
+                self._classification = GraphClassifier().classify(self.tbox)
+            self._classification_generation = self._tbox_generation
         return self._classification
 
     def extents(
         self, context: Optional[ExecutionContext] = None
     ) -> ExtentProvider:
-        """The extent provider, wrapped in the context's retry policy (if any)."""
-        if self.abox is not None:
-            provider: ExtentProvider = ABoxExtents(self.abox)
+        """The extent provider, wrapped in the context's retry policy (if any).
+
+        With caches enabled the underlying provider is shared across
+        queries (its extent/index caches persist; database mutation is
+        caught by the generation counter); only the stateless retry
+        wrapper is per-context.
+        """
+        if self.enable_caches:
+            if self._shared_extents is None:
+                if self.abox is not None:
+                    self._shared_extents = ABoxExtents(self.abox)
+                else:
+                    self._shared_extents = MappingExtents(self.mappings, self.database)
+            provider: ExtentProvider = self._shared_extents
+        elif self.abox is not None:
+            provider = ABoxExtents(self.abox)
         else:
             provider = MappingExtents(self.mappings, self.database)
         if context is not None:
@@ -155,25 +276,48 @@ class OBDASystem:
     def rewrite(self, query, method: str = "perfectref", budget=None):
         """Rewrite only (no evaluation); returns a UCQ or DatalogRewriting.
 
-        Rewritings are cached per (query, method) — they depend only on
-        the TBox, not on the data.  Only *completed* rewritings enter the
-        cache, so a budget abort never poisons it.
+        Rewritings depend only on the TBox, not on the data, so they are
+        cached across queries under the *canonical* form of the query —
+        alpha-equivalent queries (renamed variables, reordered atoms or
+        disjuncts) share one entry.  PerfectRef outputs additionally get
+        subsumption-pruned (:func:`repro.perf.prune.prune_ucq`) before
+        caching, shrinking the join work and the rendered SQL; the
+        before/after disjunct counts accumulate in ``pruning_stats``.
+
+        Only *completed* rewritings enter the cache, so a budget abort
+        never poisons it.
         """
         if method not in ("perfectref", "perfectref-sql", "presto"):
             raise ReproError(f"unknown rewriting method {method!r}")
         ucq = self._as_ucq(query)
         budget = Budget.ensure(budget, task=f"rewrite:{ucq.name or method}")
-        key = (str(ucq), "presto" if method == "presto" else "perfectref")
-        cached = self._rewriting_cache.get(key)
-        if cached is not None:
-            return cached
-        if method == "presto":
-            rewritten = presto_rewrite(
+        group = "presto" if method == "presto" else "perfectref"
+        key = None
+        if self.enable_caches:
+            from ..perf import ucq_key
+
+            self._validate_caches()
+            key = (ucq_key(ucq), group)
+            cached = self._rewriting_cache.get(key)
+            if cached is not None:
+                return cached
+        if group == "presto":
+            rewritten: object = presto_rewrite(
                 ucq, self.tbox, self.classification, budget=budget
             )
+        elif self.enable_caches:
+            from ..perf import prune_ucq
+
+            raw = perfect_ref(ucq, self.tbox, minimize=False, budget=budget)
+            pruned = prune_ucq(raw)
+            self.pruning_stats["before"] += pruned.before
+            self.pruning_stats["after"] += pruned.after
+            self.pruning_stats["rewrites"] += 1
+            rewritten = pruned.ucq
         else:
             rewritten = perfect_ref(ucq, self.tbox, budget=budget)
-        self._rewriting_cache[key] = rewritten
+        if key is not None:
+            self._rewriting_cache.put(key, rewritten)
         return rewritten
 
     def certain_answers(
@@ -202,6 +346,8 @@ class OBDASystem:
           exhausted policy surfaces (as a typed
           :class:`~repro.errors.PermanentSourceError`).
         """
+        if method not in ("perfectref", "perfectref-sql", "presto"):
+            raise ReproError(f"unknown query answering method {method!r}")
         ucq = self._as_ucq(query)
         label = ucq.name or "query"
         context = ExecutionContext.create(
@@ -212,35 +358,69 @@ class OBDASystem:
                 "the mapped sources violate the TBox; every tuple is entailed"
             )
         context.check()
+        answer_key = None
+        if self.enable_caches:
+            from ..perf import ucq_key
+
+            self._validate_caches()
+            # Answers are a pure function of (query shape, method family,
+            # TBox generation, data generation) — the generations are in
+            # the key, so stale entries are simply never looked up again.
+            answer_key = (
+                ucq_key(ucq),
+                method,
+                self._tbox_generation,
+                self._data_generation(),
+            )
+            cached = self._answer_cache.get(answer_key)
+            if cached is not None:
+                return set(cached)
         if method == "perfectref":
             rewritten = self.rewrite(ucq, budget=context.scoped(f"rewrite:{label}"))
-            return evaluate_ucq(
+            answers = evaluate_ucq(
                 rewritten,
                 self.extents(context),
                 budget=context.scoped(f"evaluate:{label}"),
             )
-        if method == "perfectref-sql":
+        elif method == "perfectref-sql":
             if self.mappings is None:
                 raise ReproError("perfectref-sql requires mappings and a database")
             rewritten = self.rewrite(ucq, budget=context.scoped(f"rewrite:{label}"))
-            unfolded = unfold(
-                rewritten, self.mappings, budget=context.scoped(f"unfold:{label}")
-            )
-            return unfolded.execute(
+            unfolded = None
+            if self.enable_caches:
+                unfolded = self._unfolding_cache.get(answer_key[0])
+            if unfolded is None:
+                unfolded = unfold(
+                    rewritten, self.mappings, budget=context.scoped(f"unfold:{label}")
+                )
+                if self.enable_caches:
+                    self._unfolding_cache.put(answer_key[0], unfolded)
+            answers = unfolded.execute(
                 context.wrap_database(self.database),
                 budget=context.scoped(f"sql:{label}"),
             )
-        if method == "presto":
+        else:  # presto
             rewriting = self.rewrite(
                 ucq, method="presto", budget=context.scoped(f"rewrite:{label}")
             )
-            provider = DatalogExtents(rewriting, self.extents(context))
-            return evaluate_ucq(
+            provider = None
+            if self.enable_caches and context.retry is None:
+                # Reuse the derived auxiliary extents across queries; the
+                # provider revalidates against the base generation itself.
+                provider = self._datalog_extents.get(answer_key[0])
+                if provider is None or provider.rewriting is not rewriting:
+                    provider = DatalogExtents(rewriting, self.extents())
+                    self._datalog_extents.put(answer_key[0], provider)
+            else:
+                provider = DatalogExtents(rewriting, self.extents(context))
+            answers = evaluate_ucq(
                 rewriting.ucq,
                 provider,
                 budget=context.scoped(f"evaluate:{label}"),
             )
-        raise ReproError(f"unknown query answering method {method!r}")
+        if answer_key is not None:
+            self._answer_cache.put(answer_key, frozenset(answers))
+        return answers
 
     def certain_answers_eql(self, query, check_consistency: bool = True):
         """Answer an EQL-Lite query (epistemic FO shell over K-atoms).
@@ -400,6 +580,13 @@ class OBDASystem:
         the context's retry policy — consistency checking was previously
         the largest unbounded region of the pipeline.
         """
+        self._validate_caches()
+        verdict_key = None
+        if self.enable_caches:
+            verdict_key = (self._tbox_generation, self._data_generation())
+            cached = self._consistency_cache.get(verdict_key)
+            if cached is not None:
+                return list(cached)
         budget = context.scoped("consistency:check") if context else None
         if self._violation_rewritings is None:
             rewritings = []
@@ -436,6 +623,11 @@ class OBDASystem:
                 )
                 if evaluate_ucq(ucq, extents, budget=budget):
                     witnesses.append(f"unsatisfiable predicate populated: {node}")
+        if verdict_key is not None:
+            # completed check only — a budget abort raised before this line
+            self._consistency_cache[verdict_key] = list(witnesses)
+            if len(self._consistency_cache) > 64:
+                self._consistency_cache.pop(next(iter(self._consistency_cache)))
         return witnesses
 
     def is_consistent(self, context: Optional[ExecutionContext] = None) -> bool:

@@ -1,0 +1,189 @@
+"""Bounded LRU caches with hit/miss/eviction statistics.
+
+Every hot-path cache in the stack (classification memoization, canonical
+rewriting cache, unfolding cache, answer cache) is an :class:`LRUCache`:
+bounded, observable, and explicitly invalidatable.  The statistics are
+what ``repro perf-report`` surfaces, and what the CI perf-smoke job
+asserts on (a warm run with a zero hit rate is a regression).
+
+Budget discipline (the resilience contract of
+:mod:`repro.runtime.budget`): callers only ever :meth:`LRUCache.put`
+*completed* results — a computation aborted by a
+:class:`~repro.errors.TimeoutExceeded` propagates before the store, so a
+timed-out step can never poison a shared cache with a partial result.
+:class:`ClassificationCache` encodes that pattern for classification.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from .fingerprint import tbox_fingerprint
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "ClassificationCache",
+    "shared_classification_cache",
+]
+
+
+@dataclass
+class CacheStats:
+    """Observable counters of one cache."""
+
+    name: str = "cache"
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup in [0, 1]; 0.0 when the cache was never read."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.invalidations = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.evictions} eviction(s), hit rate {self.hit_rate:.1%}"
+        )
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    >>> cache = LRUCache(maxsize=2, name="demo")
+    >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+    >>> cache.get("a") is None   # evicted: "a" was the least recently used
+    True
+    >>> cache.get("c")
+    3
+    >>> cache.stats.evictions
+    1
+    """
+
+    def __init__(self, maxsize: int = 128, name: str = "cache"):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats(name=name)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Read without touching recency or statistics (for assertions)."""
+        return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += 1
+        return dropped
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache({self.stats.name!r}, {len(self._entries)}/{self.maxsize}, "
+            f"hit rate {self.stats.hit_rate:.1%})"
+        )
+
+
+class ClassificationCache:
+    """Classification memoization keyed by TBox fingerprint.
+
+    Systems sharing a TBox — or holding structurally equal copies of one
+    — reuse the same :class:`~repro.core.classify.Classification` object
+    instead of re-running the classifier per system or per query.  The
+    key includes ``include_unsat`` because the Φ_T-only ablation computes
+    a genuinely different (smaller) classification.
+
+    A classification aborted by a budget raises *before* the store, so
+    timeouts (e.g. inside a :class:`~repro.runtime.fallback.FallbackChain`
+    slice) never leave a partial entry behind.
+    """
+
+    def __init__(self, maxsize: int = 32):
+        self._cache = LRUCache(maxsize=maxsize, name="classification")
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def classify(self, tbox, classifier=None, watch=None):
+        from ..core.classifier import GraphClassifier
+
+        if classifier is None:
+            classifier = GraphClassifier()
+        key = self.key_for(tbox, include_unsat=classifier.include_unsat)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        classification = classifier.classify(tbox, watch=watch)
+        self._cache.put(key, classification)
+        return classification
+
+    def key_for(self, tbox, include_unsat: bool = True) -> Tuple[str, bool]:
+        return (tbox_fingerprint(tbox), include_unsat)
+
+    def __contains__(self, key) -> bool:
+        return key in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def invalidate(self) -> int:
+        return self._cache.invalidate()
+
+
+#: Process-wide classification cache: distinct OBDA systems over the same
+#: ontology (a common multi-tenant layout) classify it exactly once.
+_SHARED_CLASSIFICATIONS = ClassificationCache()
+
+
+def shared_classification_cache() -> ClassificationCache:
+    """The process-wide default :class:`ClassificationCache`."""
+    return _SHARED_CLASSIFICATIONS

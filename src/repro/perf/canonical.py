@@ -1,0 +1,48 @@
+"""Canonical cache keys for conjunctive queries and unions thereof.
+
+Rewriting depends only on the *structure* of a query, never on the names
+of its variables or the order of its atoms/disjuncts.  Keying the
+rewriting and unfolding caches on a canonical form therefore lets
+alpha-equivalent queries — ``q(x) :- A(x), r(x, y)`` and
+``q(u) :- r(u, w), A(u)`` — share one cache entry, which is exactly the
+hit pattern of templated application workloads (same query shape, fresh
+variable names per request).
+
+The per-CQ canonical form is :meth:`ConjunctiveQuery.canonical`
+(answer variables numbered by position, existential variables numbered
+by first occurrence in the sorted atom list); :func:`ucq_key` lifts it
+to unions by sorting the set of disjunct forms, making the key invariant
+under disjunct order and duplication too.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ..obda.queries import ConjunctiveQuery, UnionQuery
+
+__all__ = ["cq_key", "ucq_key"]
+
+
+def cq_key(cq: ConjunctiveQuery) -> Tuple:
+    """A hashable form of *cq*, invariant under variable renaming and
+    atom reordering (two CQs with equal keys have equal certain answers
+    over every extent provider)."""
+    return cq.canonical()
+
+
+def ucq_key(query: Union[UnionQuery, ConjunctiveQuery]) -> Tuple:
+    """A hashable form of a UCQ, additionally invariant under disjunct
+    order and disjunct duplication.
+
+    >>> from repro.obda.cq_parser import parse_query
+    >>> a = parse_query("q(x) :- Teacher(x), teaches(x, y)")
+    >>> b = parse_query("p(u) :- teaches(u, v), Teacher(u)")
+    >>> ucq_key(a) == ucq_key(b)
+    True
+    """
+    if isinstance(query, ConjunctiveQuery):
+        return (query.arity, (query.canonical(),))
+    forms = {cq.canonical() for cq in query}
+    # heterogeneous tuples sort stably by repr (no cross-type comparisons)
+    return (query.arity, tuple(sorted(forms, key=repr)))

@@ -1,0 +1,61 @@
+"""Stable structural fingerprints for TBoxes.
+
+The hot-path caches (classification memoization, rewriting caches) need
+a key that identifies a TBox *by content*, not by object identity: two
+:class:`~repro.dllite.tbox.TBox` objects holding the same axioms — e.g.
+one per OBDA system sharing an ontology, or a re-parsed copy — must map
+to the same cache slot, while any axiom addition or removal must change
+the key.
+
+:func:`tbox_fingerprint` hashes the sorted ASCII serialization of every
+axiom plus the declared signature (declarations matter: a predicate
+declared but unconstrained still shows up as a classification node).
+Sorting makes the fingerprint invariant under axiom order; SHA-256 makes
+collisions a non-concern at ontology scale.
+
+Recomputing the hash on every cache lookup would itself be a hot-path
+cost, so the result is memoized on the TBox object against its
+*generation counter* (bumped by every mutating operation — see
+:meth:`repro.dllite.tbox.TBox.generation`).  Mutating the TBox therefore
+invalidates the memo — and, transitively, every fingerprint-keyed cache
+entry — without any explicit bookkeeping by the caller.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..dllite.tbox import TBox
+
+__all__ = ["tbox_fingerprint"]
+
+
+def tbox_fingerprint(tbox: TBox) -> str:
+    """A hex digest identifying *tbox* up to axiom/declaration content.
+
+    >>> from repro.dllite import parse_tbox
+    >>> a = parse_tbox("A isa B\\nB isa C", name="one")
+    >>> b = parse_tbox("B isa C\\nA isa B", name="two")
+    >>> tbox_fingerprint(a) == tbox_fingerprint(b)   # order/name invariant
+    True
+    """
+    generation = getattr(tbox, "generation", None)
+    memo = getattr(tbox, "_fingerprint_memo", None)
+    if memo is not None and generation is not None and memo[0] == generation:
+        return memo[1]
+    hasher = hashlib.sha256()
+    for line in sorted(axiom.to_ascii() for axiom in tbox):
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+    hasher.update(b"--signature--\n")
+    for kind, predicates in (
+        ("concept", tbox.signature.concepts),
+        ("role", tbox.signature.roles),
+        ("attribute", tbox.signature.attributes),
+    ):
+        for name in sorted(predicate.name for predicate in predicates):
+            hasher.update(f"{kind}:{name}\n".encode("utf-8"))
+    digest = hasher.hexdigest()
+    if generation is not None:
+        tbox._fingerprint_memo = (generation, digest)
+    return digest

@@ -1,0 +1,72 @@
+"""Subsumption pruning of rewriting outputs, with statistics.
+
+PerfectRef's union grows multiplicatively with the concept/role
+hierarchy, and many of the produced disjuncts are *redundant*: whenever
+a kept disjunct maps homomorphically into another one, the latter's
+answers are already contained in the former's, so the subsumed disjunct
+only adds join work and SQL text (Gottlob et al.: redundant-disjunct
+elimination dominates end-to-end rewriting cost).
+
+:func:`prune_ucq` keeps the exact semantics of
+:func:`repro.obda.queries.minimize_ucq` (shortest disjuncts win, answers
+preserved) but adds
+
+* a **predicate-set prefilter** — a keeper can only map into a disjunct
+  whose predicate set contains the keeper's, so the quadratic
+  homomorphism loop skips hopeless pairs without entering the
+  exponential matcher; and
+* a :class:`PruneResult` carrying before/after disjunct counts, which the
+  perf-report harness and ``BENCH_perf.json`` surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+from ..obda.queries import ConjunctiveQuery, UnionQuery, homomorphism_exists
+
+__all__ = ["PruneResult", "prune_ucq"]
+
+
+@dataclass
+class PruneResult:
+    """A pruned UCQ plus how much the pruning shrank it."""
+
+    ucq: UnionQuery
+    before: int
+    after: int
+
+    @property
+    def dropped(self) -> int:
+        return self.before - self.after
+
+    def as_dict(self) -> dict:
+        return {"before": self.before, "after": self.after, "dropped": self.dropped}
+
+
+def prune_ucq(ucq: UnionQuery) -> PruneResult:
+    """Drop disjuncts subsumed by another disjunct; report the shrinkage.
+
+    Certain answers are preserved: every dropped disjunct has a kept
+    disjunct homomorphically mapping into it, so its answer set is a
+    subset of the keeper's (asserted property-based in the test suite).
+    """
+    before = len(ucq.disjuncts)
+    # shorter disjuncts are more general — prefer them as keepers
+    candidates = sorted(set(ucq.disjuncts), key=lambda cq: len(cq.atoms))
+    kept: List[ConjunctiveQuery] = []
+    kept_predicates: List[FrozenSet[str]] = []
+    for disjunct in candidates:
+        predicates = frozenset(atom.predicate for atom in disjunct.atoms)
+        subsumed = False
+        for keeper, keeper_predicates in zip(kept, kept_predicates):
+            if keeper_predicates <= predicates and homomorphism_exists(
+                keeper, disjunct
+            ):
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(disjunct)
+            kept_predicates.append(frozenset(atom.predicate for atom in disjunct.atoms))
+    return PruneResult(UnionQuery(kept, ucq.name), before, len(kept))

@@ -1,0 +1,56 @@
+"""The perf-report harness and its CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.perf.report import check_report, format_report, run_perf_report
+
+ARGS = dict(profile="Mouse", scale=0.1, seed=7, queries=3, repeats=2)
+
+
+def test_report_is_healthy_and_checkable():
+    report = run_perf_report(**ARGS)
+    assert check_report(report) == []
+    assert report["coherent"]
+    assert report["timings"]["warm_s"] <= report["timings"]["cold_s"]
+    assert report["caches"]["answers"]["hits"] > 0
+    assert report["caches"]["rewriting"]["hits"] > 0
+    assert len(report["per_query"]) == 3
+    rendered = format_report(report)
+    assert "cold pass" in rendered and "cache answers" in rendered
+
+
+def test_check_report_flags_regressions():
+    report = run_perf_report(**ARGS)
+    broken = json.loads(json.dumps(report))  # deep copy
+    broken["caches"]["rewriting"]["hit_rate"] = 0.0
+    broken["timings"]["warm_s"] = broken["timings"]["cold_s"] + 1.0
+    broken["coherent"] = False
+    failures = check_report(broken)
+    assert len(failures) == 3
+    assert any("rewriting" in failure for failure in failures)
+    assert any("slower" in failure for failure in failures)
+    assert any("incoherence" in failure for failure in failures)
+
+
+def test_cli_perf_report_check_and_json(tmp_path, capsys):
+    out = tmp_path / "perf.json"
+    code = main(
+        [
+            "perf-report",
+            "--profile", "Mouse",
+            "--scale", "0.1",
+            "--queries", "3",
+            "--repeats", "2",
+            "--json", str(out),
+            "--check",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "perf-report: Mouse" in captured.out
+    report = json.loads(out.read_text())
+    assert report["harness"] == "repro perf-report"
+    assert check_report(report) == []
