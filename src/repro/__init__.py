@@ -20,7 +20,13 @@ Quickstart:
 ['Person', 'Professor', 'Teacher']
 """
 
-from .core import (
+import logging as _logging
+
+# Library convention: silent unless the application (or ``repro -v``, via
+# :func:`repro.obs.logging.configure`) attaches a real handler.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
+from .core import (  # noqa: E402
     Classification,
     GraphClassifier,
     ImplicationChecker,

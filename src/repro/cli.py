@@ -17,7 +17,14 @@ Subcommands cover the workflow steps of the paper's methodology (§3):
 * ``figure1`` — run the full Figure 1 grid (same as ``python -m repro.figure1``);
 * ``perf-report`` — answer a seeded corpus workload cold then warm and
   report cache hit rates, pruning shrinkage and the warm-path speedup
-  (``--check`` fails the build on cache regressions).
+  (``--check`` fails the build on cache regressions);
+* ``explain`` — answer one query with tracing on and print the nested
+  span tree (classify → rewrite → unfold → sql-eval) with per-span wall
+  times, cache outcomes and the metrics snapshot (``--json`` exports the
+  trace as JSON-lines, ``--check`` validates it structurally).
+
+The global ``-v/--verbose`` flag turns on the library's stdlib logging
+(``-v`` = INFO, ``-vv`` = DEBUG) on the ``repro`` logger hierarchy.
 
 Ontology files may be in the textual DL-Lite syntax or OWL 2 QL
 functional-style syntax (sniffed from the content).
@@ -371,6 +378,50 @@ def _cmd_perf_report(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    """Trace one query end-to-end and print the span tree.
+
+    The ontology comes from a file (positional) or a corpus profile
+    (``--profile``); the data side is synthesized exactly like
+    ``perf-report``.  Exit 0 iff the run completed (with ``--check``,
+    also iff the exported JSON-lines validate structurally).
+    """
+    from .obs.explain import explain_jsonlines, render_explain, run_explain
+    from .obs.schema import validate_trace_lines
+
+    if args.ontology:
+        tbox = load_ontology_file(args.ontology)
+    elif args.profile:
+        from .corpus import load_profile
+
+        tbox = load_profile(args.profile, scale=args.scale)
+    else:
+        print("explain: provide an ontology file or --profile", file=sys.stderr)
+        return 2
+    report = run_explain(
+        tbox,
+        query=args.query,
+        method=args.method,
+        seed=args.seed,
+        budget=args.budget,
+        fallback=args.fallback,
+    )
+    print(render_explain(report))
+    problems = []
+    if args.json or args.check:
+        lines = explain_jsonlines(report)
+        if args.json:
+            Path(args.json).write_text(lines + "\n")
+            print(f"\nwrote {args.json}")
+        if args.check:
+            problems = validate_trace_lines(lines)
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    return 0 if report.ok else 1
+
+
 def _cmd_conformance(args) -> int:
     """Cross-engine conformance fuzzing (differential + metamorphic + shrink).
 
@@ -408,6 +459,13 @@ def _cmd_conformance(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DL-Lite classification and OBDA toolbox"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="enable library logging (-v = INFO, -vv = DEBUG)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -587,12 +645,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     conformance.set_defaults(handler=_cmd_conformance)
 
+    explain = commands.add_parser(
+        "explain",
+        help="trace one query end-to-end and print the span tree "
+        "(timings, cache outcomes, chosen engine, metrics snapshot)",
+    )
+    explain.add_argument(
+        "ontology", nargs="?", help="ontology file (or use --profile)"
+    )
+    explain.add_argument(
+        "--profile", help="Figure 1 corpus ontology name instead of a file"
+    )
+    explain.add_argument(
+        "--scale", type=float, default=0.25, help="corpus profile scale factor"
+    )
+    explain.add_argument(
+        "-q",
+        "--query",
+        help='conjunctive query, e.g. "q(x) :- Teacher(x)" '
+        "(default: a seeded generated query)",
+    )
+    explain.add_argument(
+        "--method",
+        choices=["perfectref", "perfectref-sql", "presto"],
+        default="perfectref-sql",
+    )
+    explain.add_argument(
+        "--seed", type=int, default=7, help="ABox/query synthesis seed"
+    )
+    explain.add_argument(
+        "--budget", type=float, help="per-query time budget in seconds"
+    )
+    explain.add_argument(
+        "--fallback",
+        action="store_true",
+        help="also classify through the resilient fallback chain, traced",
+    )
+    explain.add_argument(
+        "--json", help="write the trace as JSON-lines to this file"
+    )
+    explain.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the exported JSON-lines structurally; non-zero on problems",
+    )
+    explain.set_defaults(handler=_cmd_explain)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        from .obs.logging import configure
+
+        configure(args.verbose)
     try:
         return args.handler(args)
     except ReproError as error:

@@ -27,6 +27,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from ..dllite.abox import ABox
 from ..dllite.syntax import AtomicAttribute, AtomicConcept, AtomicRole
+from ..obs.metrics import global_metrics
+from ..obs.trace import current_tracer
 from ..runtime.budget import Budget
 from .mapping import MappingCollection
 from .queries import Atom, Constant, ConjunctiveQuery, UnionQuery, Variable
@@ -92,11 +94,17 @@ class ExtentProvider:
         cached = cache.get(key)
         if cached is not None:
             return cached
-        index: Dict[Tuple, List[Tuple]] = {}
-        for row in self.extent(predicate, arity):
-            if budget is not None:
-                budget.tick()
-            index.setdefault(tuple(row[i] for i in positions), []).append(row)
+        with current_tracer().span("index-build") as span:
+            rows = self.extent(predicate, arity)
+            index: Dict[Tuple, List[Tuple]] = {}
+            for row in rows:
+                if budget is not None:
+                    budget.tick()
+                index.setdefault(tuple(row[i] for i in positions), []).append(row)
+            span.annotate(
+                predicate=predicate, positions=list(positions), rows=len(rows)
+            )
+        global_metrics().counter("obda.evaluation.index_builds").inc()
         cache[key] = index
         return index
 
@@ -175,9 +183,12 @@ class MappingExtents(ExtentProvider):
             self.invalidate()
         cached = self._cache.get(predicate)
         if cached is None:
-            cached = self.mappings.predicate_extent(self.database, predicate)
+            with current_tracer().span("extent-pull") as span:
+                cached = self.mappings.predicate_extent(self.database, predicate)
+                span.annotate(predicate=predicate, rows=len(cached))
             self._cache[predicate] = cached
             self.pulls += 1
+            global_metrics().counter("obda.extents.pulls").inc()
         return cached
 
 

@@ -50,6 +50,7 @@ from ..dllite.syntax import (
 )
 from ..dllite.tbox import TBox
 from ..errors import InconsistentOntology, ReproError
+from ..obs.trace import current_tracer
 from ..runtime.budget import Budget
 from ..runtime.execution import ExecutionContext
 from .evaluation import (
@@ -217,10 +218,10 @@ class OBDASystem:
         if not self.enable_caches:
             return {}
         stats = {
-            "classification": self._classification_cache.stats.as_dict(),
-            "rewriting": self._rewriting_cache.stats.as_dict(),
-            "unfolding": self._unfolding_cache.stats.as_dict(),
-            "answers": self._answer_cache.stats.as_dict(),
+            "classification": self._classification_cache.stats.to_dict(),
+            "rewriting": self._rewriting_cache.stats.to_dict(),
+            "unfolding": self._unfolding_cache.stats.to_dict(),
+            "answers": self._answer_cache.stats.to_dict(),
         }
         stats["pruning"] = dict(self.pruning_stats)
         provider = self._shared_extents
@@ -232,10 +233,23 @@ class OBDASystem:
     def classification(self) -> Classification:
         self._validate_caches()
         if self._classification is None:
-            if self._classification_cache is not None:
-                self._classification = self._classification_cache.classify(self.tbox)
-            else:
-                self._classification = GraphClassifier().classify(self.tbox)
+            tracer = current_tracer()
+            with tracer.span("classify") as span:
+                if self._classification_cache is not None:
+                    stats = self._classification_cache.stats
+                    hits_before = stats.hits
+                    self._classification = self._classification_cache.classify(
+                        self.tbox
+                    )
+                    span.set("cache", "hit" if stats.hits > hits_before else "miss")
+                else:
+                    span.set("cache", "off")
+                    self._classification = GraphClassifier().classify(self.tbox)
+                if tracer.enabled:
+                    span.set("axioms", len(self.tbox))
+                    span.set(
+                        "subsumptions", self._classification.subsumption_count()
+                    )
             self._classification_generation = self._tbox_generation
         return self._classification
 
@@ -292,33 +306,46 @@ class OBDASystem:
         ucq = self._as_ucq(query)
         budget = Budget.ensure(budget, task=f"rewrite:{ucq.name or method}")
         group = "presto" if method == "presto" else "perfectref"
-        key = None
-        if self.enable_caches:
-            from ..perf import ucq_key
+        tracer = current_tracer()
+        with tracer.span("rewrite") as span:
+            span.annotate(method=group, disjuncts_in=len(ucq))
+            key = None
+            if self.enable_caches:
+                from ..perf import ucq_key
 
-            self._validate_caches()
-            key = (ucq_key(ucq), group)
-            cached = self._rewriting_cache.get(key)
-            if cached is not None:
-                return cached
-        if group == "presto":
-            rewritten: object = presto_rewrite(
-                ucq, self.tbox, self.classification, budget=budget
-            )
-        elif self.enable_caches:
-            from ..perf import prune_ucq
+                self._validate_caches()
+                key = (ucq_key(ucq), group)
+                cached = self._rewriting_cache.get(key)
+                if cached is not None:
+                    span.set("cache", "hit")
+                    return cached
+                span.set("cache", "miss")
+            else:
+                span.set("cache", "off")
+            if group == "presto":
+                rewritten: object = presto_rewrite(
+                    ucq, self.tbox, self.classification, budget=budget
+                )
+                span.set("datalog_size", rewritten.size)
+            elif self.enable_caches:
+                from ..perf import prune_ucq
 
-            raw = perfect_ref(ucq, self.tbox, minimize=False, budget=budget)
-            pruned = prune_ucq(raw)
-            self.pruning_stats["before"] += pruned.before
-            self.pruning_stats["after"] += pruned.after
-            self.pruning_stats["rewrites"] += 1
-            rewritten = pruned.ucq
-        else:
-            rewritten = perfect_ref(ucq, self.tbox, budget=budget)
-        if key is not None:
-            self._rewriting_cache.put(key, rewritten)
-        return rewritten
+                raw = perfect_ref(ucq, self.tbox, minimize=False, budget=budget)
+                pruned = prune_ucq(raw)
+                self.pruning_stats["before"] += pruned.before
+                self.pruning_stats["after"] += pruned.after
+                self.pruning_stats["rewrites"] += 1
+                rewritten = pruned.ucq
+                span.annotate(
+                    disjuncts_before_pruning=pruned.before,
+                    disjuncts_after_pruning=pruned.after,
+                )
+            else:
+                rewritten = perfect_ref(ucq, self.tbox, budget=budget)
+                span.set("disjuncts_out", len(rewritten))
+            if key is not None:
+                self._rewriting_cache.put(key, rewritten)
+            return rewritten
 
     def certain_answers(
         self,
@@ -353,6 +380,27 @@ class OBDASystem:
         context = ExecutionContext.create(
             budget, retry, task=f"certain-answers:{label}"
         )
+        tracer = current_tracer()
+        with tracer.span("certain-answers") as root:
+            root.annotate(query=label, method=method)
+            if context.budget is not None and context.budget.remaining_s is not None:
+                root.set("budget_entry_s", round(context.budget.remaining_s, 6))
+            try:
+                answers = self._certain_answers_traced(
+                    ucq, label, method, check_consistency, context, tracer, root
+                )
+            finally:
+                if (
+                    context.budget is not None
+                    and context.budget.remaining_s is not None
+                ):
+                    root.set("budget_exit_s", round(context.budget.remaining_s, 6))
+            root.set("answers", len(answers))
+            return answers
+
+    def _certain_answers_traced(
+        self, ucq, label, method, check_consistency, context, tracer, root
+    ) -> Set[Tuple]:
         if check_consistency and not self.is_consistent(context=context):
             raise InconsistentOntology(
                 "the mapped sources violate the TBox; every tuple is entailed"
@@ -374,31 +422,47 @@ class OBDASystem:
             )
             cached = self._answer_cache.get(answer_key)
             if cached is not None:
+                root.set("answer_cache", "hit")
                 return set(cached)
+            root.set("answer_cache", "miss")
+        else:
+            root.set("answer_cache", "off")
         if method == "perfectref":
             rewritten = self.rewrite(ucq, budget=context.scoped(f"rewrite:{label}"))
-            answers = evaluate_ucq(
-                rewritten,
-                self.extents(context),
-                budget=context.scoped(f"evaluate:{label}"),
-            )
+            with tracer.span("evaluate") as span:
+                span.set("disjuncts", len(rewritten))
+                answers = evaluate_ucq(
+                    rewritten,
+                    self.extents(context),
+                    budget=context.scoped(f"evaluate:{label}"),
+                )
+                span.set("answers", len(answers))
         elif method == "perfectref-sql":
             if self.mappings is None:
                 raise ReproError("perfectref-sql requires mappings and a database")
             rewritten = self.rewrite(ucq, budget=context.scoped(f"rewrite:{label}"))
-            unfolded = None
-            if self.enable_caches:
-                unfolded = self._unfolding_cache.get(answer_key[0])
-            if unfolded is None:
-                unfolded = unfold(
-                    rewritten, self.mappings, budget=context.scoped(f"unfold:{label}")
-                )
+            with tracer.span("unfold") as span:
+                unfolded = None
                 if self.enable_caches:
-                    self._unfolding_cache.put(answer_key[0], unfolded)
-            answers = unfolded.execute(
-                context.wrap_database(self.database),
-                budget=context.scoped(f"sql:{label}"),
-            )
+                    unfolded = self._unfolding_cache.get(answer_key[0])
+                if unfolded is None:
+                    span.set("cache", "miss" if self.enable_caches else "off")
+                    unfolded = unfold(
+                        rewritten,
+                        self.mappings,
+                        budget=context.scoped(f"unfold:{label}"),
+                    )
+                    if self.enable_caches:
+                        self._unfolding_cache.put(answer_key[0], unfolded)
+                else:
+                    span.set("cache", "hit")
+                span.set("sql_parts", unfolded.size)
+            with tracer.span("sql-eval") as span:
+                answers = unfolded.execute(
+                    context.wrap_database(self.database),
+                    budget=context.scoped(f"sql:{label}"),
+                )
+                span.set("answers", len(answers))
         else:  # presto
             rewriting = self.rewrite(
                 ucq, method="presto", budget=context.scoped(f"rewrite:{label}")
@@ -413,11 +477,14 @@ class OBDASystem:
                     self._datalog_extents.put(answer_key[0], provider)
             else:
                 provider = DatalogExtents(rewriting, self.extents(context))
-            answers = evaluate_ucq(
-                rewriting.ucq,
-                provider,
-                budget=context.scoped(f"evaluate:{label}"),
-            )
+            with tracer.span("evaluate") as span:
+                span.set("disjuncts", len(rewriting.ucq))
+                answers = evaluate_ucq(
+                    rewriting.ucq,
+                    provider,
+                    budget=context.scoped(f"evaluate:{label}"),
+                )
+                span.set("answers", len(answers))
         if answer_key is not None:
             self._answer_cache.put(answer_key, frozenset(answers))
         return answers
@@ -581,12 +648,28 @@ class OBDASystem:
         the largest unbounded region of the pipeline.
         """
         self._validate_caches()
-        verdict_key = None
-        if self.enable_caches:
-            verdict_key = (self._tbox_generation, self._data_generation())
-            cached = self._consistency_cache.get(verdict_key)
-            if cached is not None:
-                return list(cached)
+        tracer = current_tracer()
+        with tracer.span("consistency") as span:
+            verdict_key = None
+            if self.enable_caches:
+                verdict_key = (self._tbox_generation, self._data_generation())
+                cached = self._consistency_cache.get(verdict_key)
+                if cached is not None:
+                    span.set("cache", "hit")
+                    span.set("witnesses", len(cached))
+                    return list(cached)
+                span.set("cache", "miss")
+            else:
+                span.set("cache", "off")
+            witnesses = self._inconsistency_witnesses_uncached(
+                context, verdict_key
+            )
+            span.set("witnesses", len(witnesses))
+            return witnesses
+
+    def _inconsistency_witnesses_uncached(
+        self, context: Optional[ExecutionContext], verdict_key
+    ) -> List[str]:
         budget = context.scoped("consistency:check") if context else None
         if self._violation_rewritings is None:
             rewritings = []

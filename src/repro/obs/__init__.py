@@ -1,0 +1,55 @@
+"""End-to-end observability: structured tracing, metrics, logging, explain.
+
+The stack makes many invisible runtime decisions — fallback-chain engine
+selection, retry attempts, budget expiry, cache hits vs. recomputation,
+rewriting pruning.  This package turns each of them into inspectable,
+exportable data:
+
+* :mod:`~repro.obs.trace` — a zero-dependency :class:`Tracer` producing
+  nested spans with monotonic wall times, deterministic ids, statuses
+  and attributes; the :data:`NULL_TRACER` default keeps the
+  uninstrumented hot path allocation-free;
+* :mod:`~repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters/gauges/histograms plus probes, unifying the previously
+  ad-hoc statistics of :mod:`repro.perf`, :mod:`repro.runtime` and
+  :mod:`repro.obda.evaluation` behind one ``snapshot()``/``reset()``;
+* :mod:`~repro.obs.logging` — stdlib-logging configuration for the
+  ``repro.*`` namespace, wired to the CLI's global ``-v`` flag;
+* :mod:`~repro.obs.explain` — the ``repro explain`` pipeline: one traced
+  query rendered as a span tree (or exported as JSON-lines);
+* :mod:`~repro.obs.schema` — structural validation of exported traces.
+
+``repro.obs.explain`` is imported lazily by consumers (it pulls in the
+testkit generators); importing ``repro.obs`` itself stays light enough
+for the runtime layer to depend on.
+"""
+
+from .logging import configure as configure_logging
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, global_metrics
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    render_span_tree,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "current_tracer",
+    "global_metrics",
+    "render_span_tree",
+    "set_tracer",
+    "use_tracer",
+]

@@ -1,0 +1,61 @@
+"""Logging configuration for the ``repro.*`` logger namespace.
+
+Library modules log through module-level loggers
+(``logging.getLogger(__name__)``) under the ``repro`` namespace; the
+package root carries a :class:`logging.NullHandler` (installed by
+``repro/__init__``), so importing the library never configures global
+logging or prints anything — the stdlib-recommended library posture.
+
+Applications (and the ``repro`` CLI via its global ``-v/--verbose``
+flag) opt into diagnostics with :func:`configure`:
+
+* verbosity ``0`` — warnings and errors only (the default);
+* verbosity ``1`` (``-v``) — ``INFO``: one line per pipeline decision
+  (fallback taken, cache invalidated, retry exhausted);
+* verbosity ``2+`` (``-vv``) — ``DEBUG``: per-attempt and per-stage
+  detail.
+
+:func:`configure` is idempotent: it manages exactly one handler on the
+``repro`` logger and replaces it on reconfiguration, so repeated CLI
+invocations in one process never stack duplicate handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["configure", "verbosity_to_level"]
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+#: The handler installed by :func:`configure`, so it can be replaced.
+_handler: Optional[logging.Handler] = None
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a stdlib logging level."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(verbosity: int = 0, stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Configure the ``repro`` logger namespace for an application/CLI run.
+
+    Returns the ``repro`` root logger.  Diagnostics go to *stream*
+    (default ``sys.stderr``), so CLI rendering on stdout stays clean and
+    machine-readable output (``--json``) is never polluted.
+    """
+    global _handler
+    logger = logging.getLogger("repro")
+    if _handler is not None:
+        logger.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream or sys.stderr)
+    _handler.setFormatter(logging.Formatter(_FORMAT))
+    logger.addHandler(_handler)
+    logger.setLevel(verbosity_to_level(verbosity))
+    return logger

@@ -1,0 +1,222 @@
+"""Process-wide metrics registry: counters, gauges, histograms, probes.
+
+Before this module, runtime statistics were scattered: LRU hit/miss
+counters lived on :class:`~repro.perf.cache.CacheStats` objects, extent
+pulls on :class:`~repro.obda.evaluation.MappingExtents`, retry attempts
+and fallback metadata were only visible in exceptions and
+:class:`~repro.runtime.fallback.ChainResult` objects.  The
+:class:`MetricsRegistry` unifies them behind one ``snapshot()`` /
+``reset()`` surface:
+
+* **counters** — monotone event counts (``runtime.retry.attempts``,
+  ``obda.extents.pulls``, ``runtime.budget.expired``);
+* **gauges** — last-write-wins values;
+* **histograms** — count/total/min/max of observed samples (elapsed
+  seconds from the monotonic clock — never wall-clock timestamps, so
+  snapshots are comparable across runs and machines);
+* **probes** — callables polled at snapshot time, used to pull live
+  external state (e.g. the aggregated statistics of every live
+  :class:`~repro.perf.cache.CacheStats`) into the same snapshot without
+  putting a registry update on the cache hot path.
+
+Naming scheme (see DESIGN.md): dot-separated ``component.object.event``
+paths, lower-case, no wall-clock or per-run material in the name — a
+metric name identifies *what* is counted, never *when*.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Any = None
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Count/total/min/max summary of observed samples."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "min": round(self.min, 6) if self.min is not None else None,
+            "max": round(self.max, 6) if self.max is not None else None,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.4f})"
+
+
+class MetricsRegistry:
+    """A named family of counters, gauges, histograms and probes.
+
+    Instruments are created on first use (``registry.counter(name)``),
+    so call sites never need registration boilerplate; creation is
+    locked, increments are plain attribute writes (the GIL makes them
+    atomic enough for statistics).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._probes: Dict[str, Callable[[], Dict[str, object]]] = {}
+
+    # -- instruments -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(name))
+        return instrument
+
+    def register_probe(
+        self, name: str, probe: Callable[[], Dict[str, object]]
+    ) -> None:
+        """Poll *probe* at snapshot time and merge its dict under *name*."""
+        with self._lock:
+            self._probes[name] = probe
+
+    # -- snapshot / reset ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything the registry knows, as one JSON-serializable dict."""
+        result: Dict[str, object] = {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+                if counter.value
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+                if histogram.count
+            },
+        }
+        for name, probe in sorted(self._probes.items()):
+            try:
+                result[name] = probe()
+            except Exception as error:  # a broken probe must not break snapshots
+                result[name] = {"probe_error": f"{type(error).__name__}: {error}"}
+        return result
+
+    def reset(self) -> None:
+        """Zero every instrument (probes are external state, left alone)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.value = 0
+            for gauge in self._gauges.values():
+                gauge.value = None
+            for histogram in self._histograms.values():
+                histogram.count = 0
+                histogram.total = 0.0
+                histogram.min = histogram.max = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counter(s), "
+            f"{len(self._gauges)} gauge(s), {len(self._histograms)} histogram(s))"
+        )
+
+
+_GLOBAL: Optional[MetricsRegistry] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-wide registry the instrumented stack reports into.
+
+    On first use it registers the ``perf.caches`` probe, which
+    aggregates every live :class:`~repro.perf.cache.CacheStats` by cache
+    name — so one snapshot covers LRU caches, retry/fallback/budget
+    counters and evaluation statistics together.
+    """
+    global _GLOBAL
+    if _GLOBAL is None:
+        with _GLOBAL_LOCK:
+            if _GLOBAL is None:
+                registry = MetricsRegistry()
+                from ..perf.cache import live_cache_stats
+
+                registry.register_probe("perf.caches", live_cache_stats)
+                _GLOBAL = registry
+    return _GLOBAL

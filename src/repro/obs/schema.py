@@ -1,0 +1,106 @@
+"""A small structural schema check for exported JSON-lines traces.
+
+``repro explain --json`` emits one JSON object per line: a ``trace`` (or
+``explain``) header, then one ``span`` record per span in start order,
+then optionally a ``metrics`` record.  :func:`validate_trace_lines`
+checks that shape without any external schema library, so the CI
+``obs-smoke`` job (and the failure-path tests) can assert that a trace —
+including one produced by a run that timed out or degraded — is still
+well-formed, complete and closed.
+
+The checks are structural, not semantic: every line parses as a JSON
+object with a known ``kind``; span records carry the required fields
+with the right types; statuses are from the closed vocabulary (an
+``open`` span in an export is a dangling-span bug); parents are
+declared before their children and reference real span ids.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+__all__ = ["SPAN_STATUSES", "validate_trace_lines", "validate_trace_records"]
+
+#: Legal close statuses of an exported span.
+SPAN_STATUSES = ("ok", "error", "timeout")
+
+_SPAN_FIELDS = {
+    "id": str,
+    "name": str,
+    "start_s": (int, float),
+    "elapsed_s": (int, float),
+    "status": str,
+    "attributes": dict,
+}
+
+_HEADER_KINDS = ("trace", "explain")
+
+
+def validate_trace_records(records: List[Dict[str, Any]]) -> List[str]:
+    """Structural problems of parsed trace records; empty list = valid."""
+    problems: List[str] = []
+    seen_ids: set = set()
+    span_count = 0
+    for number, record in enumerate(records, start=1):
+        if not isinstance(record, dict):
+            problems.append(f"record {number}: not a JSON object")
+            continue
+        kind = record.get("kind")
+        if kind in _HEADER_KINDS:
+            if number != 1:
+                problems.append(f"record {number}: header {kind!r} not first")
+            continue
+        if kind == "metrics":
+            if not isinstance(record.get("snapshot"), dict):
+                problems.append(f"record {number}: metrics without a snapshot object")
+            continue
+        if kind != "span":
+            problems.append(f"record {number}: unknown kind {kind!r}")
+            continue
+        span_count += 1
+        for field, types in _SPAN_FIELDS.items():
+            if not isinstance(record.get(field), types):
+                problems.append(
+                    f"record {number}: span field {field!r} missing or mistyped"
+                )
+        status = record.get("status")
+        if status not in SPAN_STATUSES:
+            problems.append(
+                f"record {number}: span status {status!r} not in {SPAN_STATUSES}"
+                + (" (dangling open span)" if status == "open" else "")
+            )
+        if isinstance(record.get("elapsed_s"), (int, float)):
+            if record["elapsed_s"] < 0:
+                problems.append(f"record {number}: negative elapsed_s")
+        parent = record.get("parent")
+        if parent is not None:
+            if not isinstance(parent, str):
+                problems.append(f"record {number}: parent must be a span id or null")
+            elif parent not in seen_ids:
+                problems.append(
+                    f"record {number}: parent {parent!r} not declared earlier"
+                )
+        span_id = record.get("id")
+        if isinstance(span_id, str):
+            if span_id in seen_ids:
+                problems.append(f"record {number}: duplicate span id {span_id!r}")
+            seen_ids.add(span_id)
+    if span_count == 0:
+        problems.append("trace contains no span records")
+    return problems
+
+
+def validate_trace_lines(text: Union[str, List[str]]) -> List[str]:
+    """Parse JSON-lines *text* and validate; returns problems (empty = valid)."""
+    lines = text.splitlines() if isinstance(text, str) else list(text)
+    records: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            problems.append(f"line {number}: invalid JSON ({error.msg})")
+    return problems + validate_trace_records(records)

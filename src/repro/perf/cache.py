@@ -16,9 +16,10 @@ timed-out step can never poison a shared cache with a partial result.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 from .fingerprint import tbox_fingerprint
 
@@ -26,19 +27,32 @@ __all__ = [
     "CacheStats",
     "LRUCache",
     "ClassificationCache",
+    "format_stats_line",
+    "live_cache_stats",
     "shared_classification_cache",
 ]
 
+#: Every live CacheStats object, so one metrics snapshot can aggregate the
+#: statistics of every cache in the process (see :func:`live_cache_stats`).
+_LIVE_STATS: "weakref.WeakSet[CacheStats]" = weakref.WeakSet()
 
-@dataclass
+
+@dataclass(eq=False)
 class CacheStats:
-    """Observable counters of one cache."""
+    """Observable counters of one cache.
+
+    ``eq=False`` keeps the default identity hash so instances can sit in
+    the process-wide weak set that feeds the metrics snapshot.
+    """
 
     name: str = "cache"
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+
+    def __post_init__(self) -> None:
+        _LIVE_STATS.add(self)
 
     @property
     def lookups(self) -> int:
@@ -53,7 +67,7 @@ class CacheStats:
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = self.invalidations = 0
 
-    def as_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,
             "hits": self.hits,
@@ -63,11 +77,61 @@ class CacheStats:
             "hit_rate": round(self.hit_rate, 4),
         }
 
+    #: Backward-compatible spelling kept for pre-observability callers.
+    as_dict = to_dict
+
     def __str__(self) -> str:
-        return (
-            f"{self.name}: {self.hits} hit(s), {self.misses} miss(es), "
-            f"{self.evictions} eviction(s), hit rate {self.hit_rate:.1%}"
-        )
+        return format_stats_line(self.to_dict())
+
+
+def format_stats_line(stats: Mapping[str, object]) -> str:
+    """The one canonical rendering of a cache-stats dict.
+
+    Shared by ``CacheStats.__str__``, ``repro perf-report`` and the
+    ``repro explain`` metrics section, so every surface prints cache
+    statistics identically.
+    """
+    hits = int(stats.get("hits", 0))
+    lookups = hits + int(stats.get("misses", 0))
+    rate = stats.get("hit_rate")
+    if rate is None:
+        rate = hits / lookups if lookups else 0.0
+    return (
+        f"{stats.get('name', 'cache')}: {stats.get('hits', 0)} hit(s), "
+        f"{stats.get('misses', 0)} miss(es), "
+        f"{stats.get('evictions', 0)} eviction(s), hit rate {float(rate):.1%}"
+    )
+
+
+def live_cache_stats() -> Dict[str, Dict[str, object]]:
+    """Statistics of every live cache, aggregated by cache name.
+
+    Several systems may each hold a ``"rewriting"`` cache; the snapshot
+    sums their counters under one key so the metrics surface reports the
+    process-wide picture.  Registered as the ``perf.caches`` probe of
+    :func:`repro.obs.metrics.global_metrics`.
+    """
+    aggregated: Dict[str, Dict[str, object]] = {}
+    for stats in list(_LIVE_STATS):
+        entry = aggregated.get(stats.name)
+        if entry is None:
+            entry = aggregated[stats.name] = {
+                "name": stats.name,
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "invalidations": 0,
+                "caches": 0,
+            }
+        entry["hits"] += stats.hits
+        entry["misses"] += stats.misses
+        entry["evictions"] += stats.evictions
+        entry["invalidations"] += stats.invalidations
+        entry["caches"] += 1
+    for entry in aggregated.values():
+        lookups = entry["hits"] + entry["misses"]
+        entry["hit_rate"] = round(entry["hits"] / lookups, 4) if lookups else 0.0
+    return aggregated
 
 
 class LRUCache:

@@ -123,8 +123,11 @@ def run_perf_report(
         for entry in per_query
         if entry["disjuncts_after_pruning"] < entry["disjuncts_before_pruning"]
     )
+    from ..obs.trace import current_tracer
+
     return {
         "harness": "repro perf-report",
+        "tracing_enabled": current_tracer().enabled,
         "profile": profile,
         "scale": scale,
         "seed": seed,
@@ -164,6 +167,11 @@ def check_report(report: Dict[str, object]) -> List[str]:
         )
     if not report.get("coherent", True):
         failures.append("cache incoherence: warm answers diverge from cold answers")
+    if report.get("tracing_enabled", False):
+        failures.append(
+            "perf report was measured with tracing enabled — warm-path numbers "
+            "must come from the NullTracer (uninstrumented) configuration"
+        )
     return failures
 
 
@@ -178,15 +186,13 @@ def format_report(report: Dict[str, object]) -> str:
         f"  warm pass: {timings['warm_s'] * 1000:.1f}ms "
         f"(best of {report['repeats']}; speedup {timings['speedup']}x)",
     ]
+    from .cache import format_stats_line
+
     for name, stats in sorted(report.get("caches", {}).items()):
         if name == "pruning":
             continue
         if "hit_rate" in stats:
-            lines.append(
-                f"  cache {name}: {stats['hits']} hit(s), {stats['misses']} "
-                f"miss(es), {stats['evictions']} eviction(s), "
-                f"hit rate {stats['hit_rate']:.0%}"
-            )
+            lines.append(f"  cache {format_stats_line(stats)}")
         else:
             rendered = ", ".join(f"{k}={v}" for k, v in stats.items())
             lines.append(f"  {name}: {rendered}")

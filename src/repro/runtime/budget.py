@@ -114,6 +114,10 @@ class Budget:
     def check(self) -> None:
         """Raise :class:`TimeoutExceeded` (naming :attr:`task`) if exhausted."""
         if self.budget_s is not None and self.elapsed_s > self.budget_s:
+            # Cold branch only: the metrics import must stay off the poll path.
+            from ..obs.metrics import global_metrics
+
+            global_metrics().counter("runtime.budget.expired").inc()
             raise TimeoutExceeded(self.budget_s, self.elapsed_s, task=self.task)
 
     #: Stopwatch-compatible spelling — every reasoner already calls this.

@@ -30,25 +30,55 @@ Budget semantics (documented contract, asserted by the tests):
 
 from __future__ import annotations
 
+import logging
 import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..baselines.base import NamedClassification, Reasoner
 from ..errors import DegradedResult, SourceError, TimeoutExceeded
+from ..obs.metrics import global_metrics
+from ..obs.trace import current_tracer
 from .budget import Budget
 
 __all__ = ["EngineAttempt", "ChainResult", "FallbackChain"]
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass(frozen=True)
 class EngineAttempt:
-    """One engine's outcome inside a chain run."""
+    """One engine's outcome inside a chain run.
+
+    Records the wall time the slice actually took (*elapsed_s*), the
+    allowance it ran under (*budget_s*, ``None`` = unbounded), and the
+    failure reason string (*detail*, empty on success) — the one source
+    of truth the ``explain`` span tree, the resilience drill and the
+    :class:`~repro.errors.DegradedResult` warning all report from.
+    """
 
     engine: str
     outcome: str  # "ok" | "timeout" | "out of memory" | "source error"
     elapsed_s: float
     detail: str = ""
+    #: The budget slice this engine ran under (None = unbounded anchor).
+    budget_s: Optional[float] = None
+
+    def describe(self) -> str:
+        """One human-readable clause, e.g. ``tableau: timeout after 0.05s``."""
+        text = f"{self.engine}: {self.outcome} after {self.elapsed_s:.3f}s"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "outcome": self.outcome,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "detail": self.detail,
+            "budget_s": self.budget_s,
+        }
 
 
 @dataclass
@@ -64,6 +94,29 @@ class ChainResult:
     degraded: bool
     #: Every engine tried, in order, including the successful one.
     attempts: List[EngineAttempt] = field(default_factory=list)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total wall time across every slice of the chain run."""
+        return sum(attempt.elapsed_s for attempt in self.attempts)
+
+    def failure_reasons(self) -> List[str]:
+        """One clause per failed slice, in attempt order."""
+        return [
+            attempt.describe()
+            for attempt in self.attempts
+            if attempt.outcome != "ok"
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable metadata (classification itself excluded)."""
+        return {
+            "served_by": self.served_by,
+            "complete": self.complete,
+            "degraded": self.degraded,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+        }
 
 
 class FallbackChain(Reasoner):
@@ -113,56 +166,92 @@ class FallbackChain(Reasoner):
     # -- the chain -------------------------------------------------------------
 
     def classify_with_report(self, tbox, watch: Optional[Budget] = None) -> ChainResult:
-        """Classify *tbox*, recording which engine served the result."""
+        """Classify *tbox*, recording which engine served the result.
+
+        Every engine slice runs inside a traced span (no-op under the
+        default :class:`~repro.obs.trace.NullTracer`), and the chain
+        reports into the process metrics registry
+        (``runtime.fallback.runs`` / ``.fallbacks`` / ``.degraded``).
+        """
+        tracer = current_tracer()
+        metrics = global_metrics()
+        metrics.counter("runtime.fallback.runs").inc()
         attempts: List[EngineAttempt] = []
-        for index, engine in enumerate(self.engines):
-            final = index == len(self.engines) - 1
-            sub = self._slice_for(index, watch)
-            probe = Budget(task=engine.name)  # elapsed-only, for the report
-            try:
-                classification = engine.classify_named(tbox, watch=sub)
-            except TimeoutExceeded as error:
-                attempts.append(
-                    EngineAttempt(engine.name, "timeout", probe.elapsed_s, str(error))
-                )
-                if final:
-                    raise
-                continue
-            except MemoryError as error:
-                attempts.append(
-                    EngineAttempt(
-                        engine.name, "out of memory", probe.elapsed_s, str(error)
-                    )
-                )
-                if final:
-                    raise
-                continue
-            except SourceError as error:
-                attempts.append(
-                    EngineAttempt(
-                        engine.name, "source error", probe.elapsed_s, str(error)
-                    )
-                )
-                if final:
-                    raise
-                continue
-            attempts.append(EngineAttempt(engine.name, "ok", probe.elapsed_s))
-            degraded = index > 0 or not engine.complete
-            if degraded and self.warn:
-                warnings.warn(
-                    f"{self.name}: result served by {engine.name!r} "
-                    f"(fallback level {index}, "
-                    f"{'complete' if engine.complete else 'incomplete'} engine)",
-                    DegradedResult,
-                    stacklevel=2,
-                )
-            return ChainResult(
-                classification=classification,
-                served_by=engine.name,
-                complete=engine.complete,
-                degraded=degraded,
-                attempts=attempts,
+
+        def record(engine, outcome, elapsed_s, detail, slice_s, span):
+            attempt = EngineAttempt(
+                engine.name, outcome, elapsed_s, detail, budget_s=slice_s
             )
+            attempts.append(attempt)
+            metrics.histogram("runtime.fallback.slice_elapsed_s").observe(elapsed_s)
+            if outcome != "ok":
+                span.set_status(
+                    "timeout" if outcome == "timeout" else "error", detail
+                )
+                logger.info("%s: %s", self.name, attempt.describe())
+
+        with tracer.span("fallback-chain") as chain_span:
+            chain_span.annotate(
+                chain=self.name, engines=[e.name for e in self.engines]
+            )
+            for index, engine in enumerate(self.engines):
+                final = index == len(self.engines) - 1
+                sub = self._slice_for(index, watch)
+                slice_s = sub.budget_s if sub is not None else None
+                probe = Budget(task=engine.name)  # elapsed-only, for the report
+                with tracer.span(f"engine:{engine.name}") as span:
+                    span.annotate(slice_budget_s=slice_s, final=final)
+                    try:
+                        classification = engine.classify_named(tbox, watch=sub)
+                    except TimeoutExceeded as error:
+                        record(
+                            engine, "timeout", probe.elapsed_s, str(error),
+                            slice_s, span,
+                        )
+                        if final:
+                            raise
+                        continue
+                    except MemoryError as error:
+                        record(
+                            engine, "out of memory", probe.elapsed_s, str(error),
+                            slice_s, span,
+                        )
+                        if final:
+                            raise
+                        continue
+                    except SourceError as error:
+                        record(
+                            engine, "source error", probe.elapsed_s, str(error),
+                            slice_s, span,
+                        )
+                        if final:
+                            raise
+                        continue
+                    record(engine, "ok", probe.elapsed_s, "", slice_s, span)
+                degraded = index > 0 or not engine.complete
+                if index > 0:
+                    metrics.counter("runtime.fallback.fallbacks").inc()
+                if degraded:
+                    metrics.counter("runtime.fallback.degraded").inc()
+                chain_span.annotate(served_by=engine.name, degraded=degraded)
+                result = ChainResult(
+                    classification=classification,
+                    served_by=engine.name,
+                    complete=engine.complete,
+                    degraded=degraded,
+                    attempts=attempts,
+                )
+                if degraded and self.warn:
+                    failures = "; ".join(result.failure_reasons())
+                    warnings.warn(
+                        f"{self.name}: result served by {engine.name!r} "
+                        f"(fallback level {index}, "
+                        f"{'complete' if engine.complete else 'incomplete'} engine)"
+                        + (f" after {failures}" if failures else ""),
+                        DegradedResult,
+                        stacklevel=2,
+                    )
+                return result
         raise AssertionError("unreachable: the final engine raises or returns")
 
     def classify_named(

@@ -20,6 +20,7 @@ SQL backend.
 
 from __future__ import annotations
 
+import logging
 import random
 import time
 from dataclasses import dataclass, field
@@ -28,9 +29,13 @@ from typing import Callable, Optional, Set, Tuple, Type
 from ..errors import PermanentSourceError, TransientSourceError
 from ..obda.evaluation import ExtentProvider
 from ..obda.sql.database import Database
+from ..obs.metrics import global_metrics
+from ..obs.trace import current_tracer
 from .budget import Budget
 
 __all__ = ["RetryPolicy", "RetryingExtents", "RetryingDatabase"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -88,16 +93,31 @@ class RetryPolicy:
         a :class:`PermanentSourceError` (cause preserved), so callers
         downstream see one typed "the source is effectively down" error.
         """
+        tracer = current_tracer()
+        metrics = global_metrics()
         attempt = 1
         while True:
             if budget is not None:
                 budget.check()
+            metrics.counter("runtime.retry.attempts").inc()
             try:
-                return fn(*args, **kwargs)
+                # The span closes with status "error" when fn raises, so a
+                # traced run shows exactly which attempts failed and why.
+                with tracer.span("source-call") as span:
+                    span.annotate(task=task, attempt=attempt)
+                    return fn(*args, **kwargs)
             except BaseException as error:  # noqa: BLE001 — classified below
                 if not self.retryable_error(error):
                     raise
+                metrics.counter("runtime.retry.transient_failures").inc()
                 if attempt >= self.max_attempts:
+                    metrics.counter("runtime.retry.exhausted").inc()
+                    logger.info(
+                        "%s: retry policy exhausted after %d attempt(s): %s",
+                        task,
+                        attempt,
+                        error,
+                    )
                     raise PermanentSourceError(
                         f"{task} still failing after {attempt} attempt(s): {error}"
                     ) from error
@@ -108,6 +128,13 @@ class RetryPolicy:
                         if remaining <= 0:
                             budget.check()  # raises TimeoutExceeded with task name
                         delay = min(delay, remaining)
+                logger.debug(
+                    "%s: attempt %d failed transiently (%s); retrying in %.4fs",
+                    task,
+                    attempt,
+                    error,
+                    delay,
+                )
                 if delay > 0:
                     self.sleep(delay)
                 attempt += 1

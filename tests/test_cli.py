@@ -120,6 +120,92 @@ def test_diff_command(tmp_path, capsys):
     assert main(["diff", str(old), str(old), "--check"]) == 0
 
 
+@pytest.fixture
+def consistent_ontology_file(tmp_path):
+    # No disjointness: the synthesized random ABox stays consistent.
+    path = tmp_path / "uni.dllite"
+    path.write_text(
+        "role teaches\n"
+        "Professor isa Teacher\n"
+        "Teacher isa exists teaches\n"
+        "exists teaches^- isa Course\n"
+    )
+    return str(path)
+
+
+def test_explain_command_prints_the_span_tree(consistent_ontology_file, capsys):
+    code = main(
+        ["explain", consistent_ontology_file, "-q", "q(x) :- Teacher(x)"]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    for stage in ("certain-answers", "classify", "rewrite", "unfold", "sql-eval"):
+        assert stage in output
+    assert "metrics snapshot:" in output
+    assert "ms" in output
+
+
+def test_explain_command_json_export_validates(
+    consistent_ontology_file, tmp_path, capsys
+):
+    from repro.obs.schema import validate_trace_lines
+
+    out = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "explain",
+            consistent_ontology_file,
+            "-q", "q(x) :- Teacher(x)",
+            "--json", str(out),
+            "--check",
+        ]
+    )
+    assert code == 0
+    assert validate_trace_lines(out.read_text()) == []
+
+
+def test_explain_command_profile_and_missing_input(capsys):
+    assert main(["explain"]) == 2
+    assert "provide an ontology" in capsys.readouterr().err
+    assert main(["explain", "--profile", "Mouse", "--scale", "0.05"]) == 0
+    assert "explain:" in capsys.readouterr().out
+
+
+def test_explain_command_reports_timeouts_nonzero(
+    consistent_ontology_file, capsys
+):
+    code = main(
+        [
+            "explain",
+            consistent_ontology_file,
+            "-q", "q(x) :- Teacher(x)",
+            "--budget", "0.0",
+        ]
+    )
+    assert code == 1
+    assert "timeout" in capsys.readouterr().out
+
+
+def test_verbose_flag_configures_logging(consistent_ontology_file, capsys):
+    import logging
+
+    code = main(["-v", "explain", consistent_ontology_file, "-q", "q(x) :- Teacher(x)"])
+    assert code == 0
+    root = logging.getLogger("repro")
+    try:
+        assert root.level == logging.INFO
+        assert any(
+            isinstance(h, logging.StreamHandler) for h in root.handlers
+        )
+    finally:
+        import repro.obs.logging as obs_logging
+
+        if obs_logging._handler is not None:
+            root.removeHandler(obs_logging._handler)
+            obs_logging._handler = None
+        root.setLevel(logging.NOTSET)
+
+
 def test_lint_command(tmp_path, capsys):
     clean = tmp_path / "clean.dllite"
     clean.write_text("A isa B")

@@ -1,0 +1,110 @@
+"""Tests for repro.obs.metrics — instruments, snapshots, probes, integration."""
+
+import pytest
+
+from repro.dllite import parse_tbox
+from repro.errors import PermanentSourceError, TimeoutExceeded, TransientSourceError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, global_metrics
+from repro.perf.cache import LRUCache
+from repro.runtime import Budget, FallbackChain, RetryPolicy
+from repro.baselines import make_reasoner
+
+
+@pytest.fixture(autouse=True)
+def fresh_global_metrics():
+    global_metrics().reset()
+    yield
+    global_metrics().reset()
+
+
+def test_counter_gauge_histogram_basics():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    gauge = Gauge("g")
+    gauge.set(1.5)
+    assert gauge.value == 1.5
+    histogram = Histogram("h")
+    for sample in (1.0, 3.0, 2.0):
+        histogram.observe(sample)
+    assert histogram.count == 3
+    assert histogram.min == 1.0 and histogram.max == 3.0
+    assert histogram.mean == 2.0
+    assert histogram.to_dict()["total"] == 6.0
+
+
+def test_registry_creates_on_first_use_and_snapshots():
+    registry = MetricsRegistry()
+    registry.counter("a.b.c").inc()
+    assert registry.counter("a.b.c").value == 1  # same instrument back
+    registry.gauge("g").set("x")
+    registry.histogram("h").observe(0.5)
+    registry.counter("zero.counter")  # stays out of the snapshot
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"a.b.c": 1}
+    assert snapshot["gauges"] == {"g": "x"}
+    assert snapshot["histograms"]["h"]["count"] == 1
+    registry.reset()
+    after = registry.snapshot()
+    assert after["counters"] == {} and after["histograms"] == {}
+
+
+def test_probes_are_polled_at_snapshot_time_and_errors_contained():
+    registry = MetricsRegistry()
+    registry.counter("seen").inc()
+    registry.register_probe("state", lambda: {"value": 42})
+
+    def broken():
+        raise RuntimeError("probe down")
+
+    registry.register_probe("broken", broken)
+    snapshot = registry.snapshot()
+    assert snapshot["state"] == {"value": 42}
+    assert "RuntimeError" in snapshot["broken"]["probe_error"]
+
+
+def test_global_registry_aggregates_live_cache_stats():
+    cache = LRUCache(maxsize=4, name="metrics-probe-demo")
+    cache.put("k", 1)
+    cache.get("k")
+    cache.get("absent")
+    snapshot = global_metrics().snapshot()
+    entry = snapshot["perf.caches"]["metrics-probe-demo"]
+    assert entry["hits"] >= 1 and entry["misses"] >= 1
+    assert entry["caches"] >= 1
+    assert 0.0 <= entry["hit_rate"] <= 1.0
+
+
+def test_retry_policy_reports_attempts_and_exhaustion():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        raise TransientSourceError("blip")
+
+    policy = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+    with pytest.raises(PermanentSourceError):
+        policy.call(flaky, task="probe")
+    counters = global_metrics().snapshot()["counters"]
+    assert counters["runtime.retry.attempts"] == 3
+    assert counters["runtime.retry.transient_failures"] == 3
+    assert counters["runtime.retry.exhausted"] == 1
+
+
+def test_budget_expiry_is_counted():
+    budget = Budget(0.0, task="instant")
+    with pytest.raises(TimeoutExceeded):
+        budget.check()
+    counters = global_metrics().snapshot()["counters"]
+    assert counters["runtime.budget.expired"] == 1
+
+
+def test_fallback_chain_reports_runs_and_fallbacks():
+    tbox = parse_tbox("A isa B\nB isa C")
+    chain = FallbackChain([make_reasoner("quonto-graph")], warn=False)
+    chain.classify_with_report(tbox)
+    snapshot = global_metrics().snapshot()
+    assert snapshot["counters"]["runtime.fallback.runs"] == 1
+    assert "runtime.fallback.fallbacks" not in snapshot["counters"]
+    assert snapshot["histograms"]["runtime.fallback.slice_elapsed_s"]["count"] == 1

@@ -1,0 +1,177 @@
+"""Tests for repro.obs.trace — spans, nesting, statuses, export, NullTracer."""
+
+import json
+
+import pytest
+
+from repro.errors import TimeoutExceeded
+from repro.obs.schema import validate_trace_lines
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    render_span_tree,
+    set_tracer,
+    use_tracer,
+)
+
+
+def test_spans_nest_and_record_parentage():
+    tracer = Tracer("demo")
+    with tracer.span("outer") as outer:
+        outer.set("k", 1)
+        with tracer.span("inner") as inner:
+            inner.annotate(a=1, b=2)
+        with tracer.span("sibling"):
+            pass
+    assert [s.name for s in tracer.spans] == ["outer", "inner", "sibling"]
+    assert tracer.roots == [tracer.spans[0]]
+    assert tracer.spans[1].parent_id == tracer.spans[0].span_id
+    assert tracer.spans[2].parent_id == tracer.spans[0].span_id
+    assert [c.name for c in tracer.spans[0].children] == ["inner", "sibling"]
+    assert tracer.spans[0].depth == 0 and tracer.spans[1].depth == 1
+    assert tracer.spans[1].attributes == {"a": 1, "b": 2}
+    assert not tracer.open_spans
+
+
+def test_span_ids_are_deterministic():
+    def run():
+        tracer = Tracer("same")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        return [s.span_id for s in tracer.spans]
+
+    assert run() == run() == ["s0001", "s0002"]
+
+
+def test_exception_closes_span_with_error_status():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("stage"):
+            raise ValueError("boom")
+    (span,) = tracer.spans
+    assert span.status == "error"
+    assert span.detail == "ValueError: boom"
+    assert span.end_s is not None
+    assert not tracer.open_spans
+
+
+def test_timeout_closes_span_with_timeout_status():
+    tracer = Tracer()
+    with pytest.raises(TimeoutExceeded):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise TimeoutExceeded(0.1, 0.2, task="inner stage")
+    inner = tracer.spans[1]
+    outer = tracer.spans[0]
+    assert inner.status == "timeout"
+    assert outer.status == "timeout"  # propagates through every open span
+    assert not tracer.open_spans
+
+
+def test_set_status_overrides_but_exception_wins():
+    tracer = Tracer()
+    with tracer.span("soft-fail") as span:
+        span.set_status("error", "handled internally")
+    assert tracer.spans[0].status == "error"
+    assert tracer.spans[0].detail == "handled internally"
+    with pytest.raises(RuntimeError):
+        with tracer.span("hard-fail") as span:
+            span.set_status("ok")
+            raise RuntimeError("actual failure")
+    assert tracer.spans[1].status == "error"
+
+
+def test_jsonlines_export_round_trips_and_validates():
+    tracer = Tracer("export")
+    with tracer.span("a", size=3):
+        with tracer.span("b"):
+            pass
+    text = tracer.to_jsonlines()
+    records = [json.loads(line) for line in text.splitlines()]
+    assert records[0] == {"kind": "trace", "name": "export", "spans": 2}
+    assert records[1]["name"] == "a"
+    assert records[1]["attributes"] == {"size": 3}
+    assert records[2]["parent"] == records[1]["id"]
+    assert validate_trace_lines(text) == []
+
+
+def test_export_after_failure_is_still_valid():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise ValueError("mid-stage")
+    assert validate_trace_lines(tracer.to_jsonlines()) == []
+
+
+def test_validator_flags_dangling_and_orphan_spans():
+    bad = "\n".join(
+        [
+            json.dumps({"kind": "trace", "name": "t", "spans": 2}),
+            json.dumps(
+                {
+                    "kind": "span",
+                    "id": "s0001",
+                    "parent": "s9999",
+                    "name": "orphan",
+                    "start_s": 0.0,
+                    "elapsed_s": 0.1,
+                    "status": "open",
+                    "attributes": {},
+                }
+            ),
+        ]
+    )
+    problems = validate_trace_lines(bad)
+    assert any("dangling" in p for p in problems)
+    assert any("not declared earlier" in p for p in problems)
+
+
+def test_null_tracer_is_the_default_and_allocation_free():
+    assert current_tracer() is NULL_TRACER
+    assert NULL_TRACER.enabled is False
+    # The no-overhead contract: every span is the one shared no-op object.
+    a = NULL_TRACER.span("x", attr=1)
+    b = NULL_TRACER.span("y")
+    assert a is b
+    with a as span:
+        span.set("k", "v")
+        span.annotate(k2="v2")
+        span.set_status("error", "ignored")
+    # Exceptions still propagate through the no-op span.
+    with pytest.raises(ValueError):
+        with NullTracer().span("z"):
+            raise ValueError("propagates")
+
+
+def test_use_tracer_installs_and_restores():
+    tracer = Tracer("scoped")
+    assert current_tracer() is NULL_TRACER
+    with use_tracer(tracer):
+        assert current_tracer() is tracer
+        with use_tracer(None):
+            assert current_tracer() is NULL_TRACER
+        assert current_tracer() is tracer
+    assert current_tracer() is NULL_TRACER
+    previous = set_tracer(tracer)
+    assert previous is NULL_TRACER
+    assert set_tracer(previous) is tracer
+    assert current_tracer() is NULL_TRACER
+
+
+def test_render_span_tree_shows_timing_status_and_attributes():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("root", rows=7):
+            with tracer.span("child"):
+                raise ValueError("bad")
+    rendered = render_span_tree(tracer)
+    lines = rendered.splitlines()
+    assert lines[0].startswith("root ")
+    assert "[rows=7]" in lines[0]
+    assert "└─ child" in lines[1]
+    assert "!error (ValueError: bad)" in lines[1]
+    assert "ms" in lines[0]

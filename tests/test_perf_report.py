@@ -35,6 +35,24 @@ def test_check_report_flags_regressions():
     assert any("incoherence" in failure for failure in failures)
 
 
+def test_check_report_rejects_traced_measurements():
+    report = run_perf_report(**ARGS)
+    assert report["tracing_enabled"] is False  # NullTracer is the default
+    traced = json.loads(json.dumps(report))
+    traced["tracing_enabled"] = True
+    failures = check_report(traced)
+    assert any("tracing enabled" in failure for failure in failures)
+
+
+def test_report_records_an_active_tracer():
+    from repro.obs.trace import Tracer, use_tracer
+
+    with use_tracer(Tracer("perf-under-trace")):
+        report = run_perf_report(**ARGS)
+    assert report["tracing_enabled"] is True
+    assert any("tracing enabled" in failure for failure in check_report(report))
+
+
 def test_cli_perf_report_check_and_json(tmp_path, capsys):
     out = tmp_path / "perf.json"
     code = main(

@@ -136,6 +136,77 @@ def test_empty_chain_is_rejected():
         FallbackChain([])
 
 
+def test_attempts_record_slice_budget_and_elapsed(galen):
+    chain = FallbackChain(
+        [make_reasoner("tableau-pairwise"), make_reasoner("quonto-graph")],
+        per_engine_budget_s=0.05,
+        warn=False,
+    )
+    report = chain.classify_with_report(galen)
+    starved, served = report.attempts
+    assert starved.budget_s == 0.05
+    assert starved.elapsed_s > 0.0
+    assert starved.detail  # the failure reason string is on record
+    assert served.budget_s is None  # the anchor runs unbounded
+    assert report.elapsed_s >= starved.elapsed_s
+    reasons = report.failure_reasons()
+    assert len(reasons) == 1
+    assert "tableau-pairwise" in reasons[0] and "timeout" in reasons[0]
+    assert "timeout" in starved.describe()
+
+
+def test_chain_result_to_dict_is_json_serializable(galen):
+    import json
+
+    chain = FallbackChain(
+        [make_reasoner("tableau-pairwise"), make_reasoner("quonto-graph")],
+        per_engine_budget_s=0.05,
+        warn=False,
+    )
+    data = chain.classify_with_report(galen).to_dict()
+    assert data["served_by"] == "quonto-graph"
+    assert data["degraded"] is True
+    assert [a["outcome"] for a in data["attempts"]] == ["timeout", "ok"]
+    json.dumps(data)  # must round-trip without a custom encoder
+
+
+def test_degraded_warning_includes_failure_reasons(galen):
+    chain = FallbackChain(
+        [make_reasoner("tableau-pairwise"), make_reasoner("quonto-graph")],
+        per_engine_budget_s=0.05,
+    )
+    with pytest.warns(DegradedResult, match="tableau-pairwise: timeout"):
+        chain.classify_with_report(galen)
+
+
+def test_chain_run_is_traced_with_slice_failures(galen):
+    from repro.obs.trace import Tracer, use_tracer
+
+    chain = FallbackChain(
+        [make_reasoner("tableau-pairwise"), make_reasoner("quonto-graph")],
+        per_engine_budget_s=0.05,
+        warn=False,
+    )
+    tracer = Tracer("chain")
+    with use_tracer(tracer):
+        chain.classify_with_report(galen)
+    names = [span.name for span in tracer.spans]
+    assert names == [
+        "fallback-chain",
+        "engine:tableau-pairwise",
+        "engine:quonto-graph",
+    ]
+    chain_span, starved, served = tracer.spans
+    assert chain_span.status == "ok"
+    assert chain_span.attributes["served_by"] == "quonto-graph"
+    assert chain_span.attributes["degraded"] is True
+    assert starved.status == "timeout"
+    assert starved.attributes["slice_budget_s"] == 0.05
+    assert served.status == "ok"
+    assert served.attributes["final"] is True
+    assert not tracer.open_spans
+
+
 def test_registry_exposes_the_chain(tiny_tbox):
     chain = make_reasoner("fallback-chain")
     assert isinstance(chain, FallbackChain)
