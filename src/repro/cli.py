@@ -21,7 +21,12 @@ Subcommands cover the workflow steps of the paper's methodology (§3):
 * ``explain`` — answer one query with tracing on and print the nested
   span tree (classify → rewrite → unfold → sql-eval) with per-span wall
   times, cache outcomes and the metrics snapshot (``--json`` exports the
-  trace as JSON-lines, ``--check`` validates it structurally).
+  trace as JSON-lines, ``--check`` validates it structurally);
+* ``soak`` — seeded chaos-soak drill: hammer one OBDA system from
+  worker threads with mixed queries, updates and injected faults under
+  admission control, then verify zero lost updates, zero stale answers,
+  zero deadlocks and that every degraded answer was flagged (non-zero
+  exit on any violation; ``--json`` exports the full report).
 
 The global ``-v/--verbose`` flag turns on the library's stdlib logging
 (``-v`` = INFO, ``-vv`` = DEBUG) on the ``repro`` logger hierarchy.
@@ -456,6 +461,61 @@ def _cmd_conformance(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_soak(args) -> int:
+    """Seeded chaos-soak drill (see :mod:`repro.runtime.soak`).
+
+    Exit 0 iff every invariant held: zero lost updates, zero stale
+    answers, zero deadlocks, no unflagged degradation, no unexpected
+    worker exceptions.
+    """
+    import json
+
+    from .runtime.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        seed=args.seed,
+        threads=args.threads,
+        ops_per_thread=args.ops,
+        transient_rate=args.transient_rate,
+        max_concurrency=args.max_concurrency,
+        queue_timeout_s=args.queue_timeout,
+        method=args.method,
+    )
+    report = run_soak(config)
+    totals = report["totals"]
+    outcomes = totals["outcomes"]
+    print(
+        f"soak: seed {args.seed}, {args.threads} thread(s), "
+        f"{totals['operations']} op(s) in {report['workload_s']:.2f}s "
+        f"({totals['queries']} queries, "
+        f"{totals['mutations']['asserts']} insert(s), "
+        f"{totals['mutations']['axioms']} axiom add(s))"
+    )
+    print(
+        f"  outcomes: {outcomes['ok']} ok, {outcomes['degraded']} degraded, "
+        f"{outcomes['shed']} shed, {outcomes['deduped']} deduped; "
+        f"faults: {report['faults']['transients_injected']} transient(s) "
+        f"over {report['faults']['calls']} source call(s)"
+    )
+    invariants = report["invariants"]
+    for name in (
+        "lost_updates",
+        "stale_answers",
+        "deadlocks",
+        "unflagged_degradation",
+        "errors",
+    ):
+        violations = invariants[name]
+        status = "ok" if not violations else f"{len(violations)} VIOLATION(S)"
+        print(f"  {name.replace('_', ' ')}: {status}")
+        for violation in violations[:10]:
+            print(f"    {violation}", file=sys.stderr)
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2, default=str))
+        print(f"  report written: {args.json}")
+    return 0 if invariants["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DL-Lite classification and OBDA toolbox"
@@ -690,6 +750,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the exported JSON-lines structurally; non-zero on problems",
     )
     explain.set_defaults(handler=_cmd_explain)
+
+    soak = commands.add_parser(
+        "soak",
+        help="seeded chaos-soak drill: hammer one OBDA system from worker "
+        "threads (queries + updates + injected faults) and verify zero "
+        "lost updates, zero stale answers, zero deadlocks",
+    )
+    soak.add_argument("--seed", type=int, default=0, help="drill seed")
+    soak.add_argument("--threads", type=int, default=8, help="worker threads")
+    soak.add_argument(
+        "--ops", type=int, default=40, help="operations per worker thread"
+    )
+    soak.add_argument(
+        "--transient-rate",
+        type=float,
+        default=0.05,
+        help="injected transient-fault probability per source call",
+    )
+    soak.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="admission gate width (concurrent evaluations)",
+    )
+    soak.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a request may queue before being shed",
+    )
+    soak.add_argument(
+        "--method",
+        choices=["perfectref", "presto"],
+        default="perfectref",
+        help="query answering method under soak",
+    )
+    soak.add_argument(
+        "--json", help="also write the full soak report as JSON to this file"
+    )
+    soak.set_defaults(handler=_cmd_soak)
 
     return parser
 

@@ -8,6 +8,7 @@ examples) and for materialized virtual ABoxes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Set, Tuple, Union
 
@@ -79,6 +80,9 @@ class ABox:
         self._concept_index: Dict[AtomicConcept, Set[Individual]] = {}
         self._role_index: Dict[AtomicRole, Set[Tuple[Individual, Individual]]] = {}
         self._attribute_index: Dict[AtomicAttribute, Set[Tuple[Individual, object]]] = {}
+        #: serializes writers; readers stay lock-free because every index
+        #: bucket is replaced copy-on-write, never mutated in place.
+        self._lock = threading.RLock()
         #: mutation counter; extent/index caches key their validity on it
         self._generation = 0
         for assertion in assertions:
@@ -90,25 +94,37 @@ class ABox:
         return self._generation
 
     def add(self, assertion: Assertion) -> bool:
-        if assertion in self._assertions:
-            return False
-        self._assertions.add(assertion)
-        self._generation += 1
         if isinstance(assertion, ConceptAssertion):
-            self._concept_index.setdefault(assertion.concept, set()).add(
-                assertion.individual
+            index, key, value = (
+                self._concept_index,
+                assertion.concept,
+                assertion.individual,
             )
         elif isinstance(assertion, RoleAssertion):
-            self._role_index.setdefault(assertion.role, set()).add(
-                (assertion.subject, assertion.object)
+            index, key, value = (
+                self._role_index,
+                assertion.role,
+                (assertion.subject, assertion.object),
             )
         elif isinstance(assertion, AttributeAssertion):
-            self._attribute_index.setdefault(assertion.attribute, set()).add(
-                (assertion.subject, assertion.value)
+            index, key, value = (
+                self._attribute_index,
+                assertion.attribute,
+                (assertion.subject, assertion.value),
             )
         else:
-            self._assertions.discard(assertion)
             raise TypeError(f"not an ABox assertion: {assertion!r}")
+        with self._lock:
+            if assertion in self._assertions:
+                return False
+            self._assertions.add(assertion)
+            # Copy-on-write bucket replacement: a concurrent reader
+            # iterating the old bucket sees a consistent snapshot instead
+            # of a set changing size mid-iteration.
+            index[key] = index.get(key, frozenset()) | {value}
+            # Bumped last, so a reader observing the new generation also
+            # observes the assertion it reports.
+            self._generation += 1
         return True
 
     def extend(self, assertions: Iterable[Assertion]) -> int:
@@ -128,19 +144,26 @@ class ABox:
     def individuals(self) -> Set[Individual]:
         """Every individual mentioned anywhere in the ABox."""
         result: Set[Individual] = set()
-        for members in self._concept_index.values():
+        with self._lock:  # dict iteration vs concurrent new-key insertion
+            concept_buckets = list(self._concept_index.values())
+            role_buckets = list(self._role_index.values())
+            attribute_buckets = list(self._attribute_index.values())
+        for members in concept_buckets:
             result.update(members)
-        for pairs in self._role_index.values():
+        for pairs in role_buckets:
             for subject, object_ in pairs:
                 result.add(subject)
                 result.add(object_)
-        for pairs in self._attribute_index.values():
+        for pairs in attribute_buckets:
             for subject, _ in pairs:
                 result.add(subject)
         return result
 
     def __iter__(self) -> Iterator[Assertion]:
-        return iter(self._assertions)
+        # Snapshot under the writer lock: iterating the live set while a
+        # concurrent add() resizes it would raise RuntimeError.
+        with self._lock:
+            return iter(list(self._assertions))
 
     def __len__(self) -> int:
         return len(self._assertions)
@@ -149,7 +172,8 @@ class ABox:
         return assertion in self._assertions
 
     def copy(self) -> "ABox":
-        return ABox(self._assertions)
+        with self._lock:
+            return ABox(list(self._assertions))
 
     def __repr__(self) -> str:
         return f"ABox({len(self)} assertions)"

@@ -8,6 +8,7 @@ operates on.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .axioms import (
@@ -43,12 +44,18 @@ class Signature:
         self.attributes: Set[AtomicAttribute] = set(attributes)
 
     def add(self, predicate) -> None:
+        # Copy-on-write: readers (digraph build, fingerprinting) iterate
+        # whichever set object they grabbed, never one mutating under them.
+        # Writers are serialized by the owning TBox's lock.
         if isinstance(predicate, AtomicConcept):
-            self.concepts.add(predicate)
+            if predicate not in self.concepts:
+                self.concepts = self.concepts | {predicate}
         elif isinstance(predicate, AtomicRole):
-            self.roles.add(predicate)
+            if predicate not in self.roles:
+                self.roles = self.roles | {predicate}
         elif isinstance(predicate, AtomicAttribute):
-            self.attributes.add(predicate)
+            if predicate not in self.attributes:
+                self.attributes = self.attributes | {predicate}
         else:
             raise TypeError(f"not an atomic predicate: {predicate!r}")
 
@@ -99,6 +106,10 @@ class TBox:
         self.name = name
         self._axioms: List[Axiom] = []
         self._seen: Set[Axiom] = set()
+        #: serializes mutations (axiom add/discard, declarations) so the
+        #: generation bump and the structural change it reports are one
+        #: atomic step even under concurrent writers.
+        self._lock = threading.RLock()
         #: mutation counter — bumped by every change to axioms or the
         #: declared signature, so fingerprint-keyed caches (classification
         #: memoization, rewriting caches) can detect TBox change cheaply.
@@ -133,13 +144,16 @@ class TBox:
         """Add *axiom*; return False when it was already present."""
         if not isinstance(axiom, Axiom):
             raise TypeError(f"not a TBox axiom: {axiom!r}")
-        if axiom in self._seen:
-            return False
-        self._seen.add(axiom)
-        self._axioms.append(axiom)
-        self._generation += 1
-        for predicate in axiom_signature(axiom):
-            self.signature.add(predicate)
+        with self._lock:
+            if axiom in self._seen:
+                return False
+            self._seen.add(axiom)
+            self._axioms.append(axiom)
+            for predicate in axiom_signature(axiom):
+                self.signature.add(predicate)
+            # Bumped last: a reader seeing the new generation is
+            # guaranteed to also see the axiom and signature change.
+            self._generation += 1
         return True
 
     def extend(self, axioms: Iterable[Axiom]) -> int:
@@ -148,17 +162,24 @@ class TBox:
 
     def declare(self, predicate) -> None:
         """Declare an atomic predicate without asserting any axiom on it."""
-        if predicate not in self.signature:
-            self._generation += 1
-        self.signature.add(predicate)
+        with self._lock:
+            if predicate not in self.signature:
+                self.signature.add(predicate)
+                self._generation += 1
 
     def discard(self, axiom: Axiom) -> bool:
         """Remove *axiom* if present (the signature is left untouched)."""
-        if axiom not in self._seen:
-            return False
-        self._seen.discard(axiom)
-        self._axioms.remove(axiom)
-        self._generation += 1
+        with self._lock:
+            if axiom not in self._seen:
+                return False
+            self._seen.discard(axiom)
+            # Copy-on-write removal: readers iterating the old list keep a
+            # consistent snapshot; in-place .remove() would shift items
+            # under a concurrent iterator.
+            axioms = list(self._axioms)
+            axioms.remove(axiom)
+            self._axioms = axioms
+            self._generation += 1
         return True
 
     @property

@@ -23,6 +23,7 @@ leaves a partial index behind.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..dllite.abox import ABox
@@ -55,6 +56,14 @@ class ExtentProvider:
     implementation caches indexes on the provider and revalidates them
     against :meth:`generation` on every access, so subclasses only need
     to report a changing generation to get correct invalidation.
+
+    Concurrency: index snapshots are **copy-on-write** — a generation
+    move swaps in a fresh cache dict instead of clearing the old one, so
+    a join that already holds an index keeps a consistent (if slightly
+    stale, bracket-bounded) snapshot while new queries index the new
+    data.  Bookkeeping happens under a small per-provider lock created
+    on demand; index *construction* runs outside it, so slow builds
+    don't serialize unrelated queries.
     """
 
     def extent(self, predicate: str, arity: int) -> Set[Tuple]:
@@ -64,10 +73,19 @@ class ExtentProvider:
         """Monotone data-version counter; 0 for immutable providers."""
         return 0
 
+    def _sync_lock(self) -> "threading.RLock":
+        """The per-provider lock, created on demand.
+
+        ``dict.setdefault`` is atomic under the GIL, so two racing
+        first-callers agree on one lock object.
+        """
+        return self.__dict__.setdefault("_provider_lock", threading.RLock())
+
     def invalidate(self) -> None:
         """Drop cached indexes (subclasses also drop cached extents)."""
-        self.__dict__.pop("_index_cache", None)
-        self.__dict__.pop("_index_generation", None)
+        with self._sync_lock():
+            self.__dict__.pop("_index_cache", None)
+            self.__dict__.pop("_index_generation", None)
 
     def index(
         self,
@@ -85,15 +103,19 @@ class ExtentProvider:
         exhaustion the partially built index is discarded with the
         raised :class:`~repro.errors.TimeoutExceeded`.
         """
-        cache: Optional[Dict[IndexKey, Dict]] = self.__dict__.get("_index_cache")
-        if cache is None or self.__dict__.get("_index_generation") != self.generation():
-            cache = {}
-            self._index_cache = cache
-            self._index_generation = self.generation()
+        lock = self._sync_lock()
         key: IndexKey = (predicate, positions)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
+        with lock:
+            generation = self.generation()
+            cache: Optional[Dict[IndexKey, Dict]] = self.__dict__.get("_index_cache")
+            if cache is None or self.__dict__.get("_index_generation") != generation:
+                # Copy-on-write swap: in-flight joins keep the old snapshot.
+                cache = {}
+                self._index_cache = cache
+                self._index_generation = generation
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
         with current_tracer().span("index-build") as span:
             rows = self.extent(predicate, arity)
             index: Dict[Tuple, List[Tuple]] = {}
@@ -105,7 +127,16 @@ class ExtentProvider:
                 predicate=predicate, positions=list(positions), rows=len(rows)
             )
         global_metrics().counter("obda.evaluation.index_builds").inc()
-        cache[key] = index
+        with lock:
+            # Install only into the snapshot we keyed against; if the
+            # generation moved mid-build the index may mix old and new
+            # rows, and the fresh snapshot must not inherit it.
+            if (
+                self.__dict__.get("_index_cache") is cache
+                and self.__dict__.get("_index_generation") == generation
+            ):
+                cache.setdefault(key, index)
+                return cache[key]
         return index
 
 
@@ -128,14 +159,18 @@ class ABoxExtents(ExtentProvider):
         return self._abox_generation()
 
     def invalidate(self) -> None:
-        self._cache.clear()
-        self._generation = self._abox_generation()
-        super().invalidate()
+        with self._sync_lock():
+            # Copy-on-write: readers holding the old dict keep a snapshot.
+            self._cache = {}
+            self._generation = self._abox_generation()
+            super().invalidate()
 
     def extent(self, predicate: str, arity: int) -> Set[Tuple]:
-        if self._abox_generation() != self._generation:
-            self.invalidate()
-        cached = self._cache.get(predicate)
+        with self._sync_lock():
+            if self._abox_generation() != self._generation:
+                self.invalidate()
+            cache = self._cache
+            cached = cache.get(predicate)
         if cached is not None:
             return cached
         if arity == 1:
@@ -146,7 +181,10 @@ class ABoxExtents(ExtentProvider):
         else:
             extent = set(self.abox.role_pairs(AtomicRole(predicate)))
             extent |= self.abox.attribute_pairs(AtomicAttribute(predicate))
-        self._cache[predicate] = extent
+        with self._sync_lock():
+            if self._cache is cache:  # snapshot still current — memoize
+                cache.setdefault(predicate, extent)
+                return cache[predicate]
         return extent
 
 
@@ -174,22 +212,30 @@ class MappingExtents(ExtentProvider):
         return self.database.generation
 
     def invalidate(self) -> None:
-        self._cache.clear()
-        self._generation = self.database.generation
-        super().invalidate()
+        with self._sync_lock():
+            # Copy-on-write: readers holding the old dict keep a snapshot.
+            self._cache = {}
+            self._generation = self.database.generation
+            super().invalidate()
 
     def extent(self, predicate: str, arity: int) -> Set[Tuple]:
-        if self.database.generation != self._generation:
-            self.invalidate()
-        cached = self._cache.get(predicate)
-        if cached is None:
-            with current_tracer().span("extent-pull") as span:
-                cached = self.mappings.predicate_extent(self.database, predicate)
-                span.annotate(predicate=predicate, rows=len(cached))
-            self._cache[predicate] = cached
+        with self._sync_lock():
+            if self.database.generation != self._generation:
+                self.invalidate()
+            cache = self._cache
+            cached = cache.get(predicate)
+        if cached is not None:
+            return cached
+        with current_tracer().span("extent-pull") as span:
+            pulled = self.mappings.predicate_extent(self.database, predicate)
+            span.annotate(predicate=predicate, rows=len(pulled))
+        global_metrics().counter("obda.extents.pulls").inc()
+        with self._sync_lock():
             self.pulls += 1
-            global_metrics().counter("obda.extents.pulls").inc()
-        return cached
+            if self._cache is cache:  # snapshot still current — memoize
+                cache.setdefault(predicate, pulled)
+                return cache[predicate]
+        return pulled
 
 
 class DatalogExtents(ExtentProvider):
@@ -212,17 +258,21 @@ class DatalogExtents(ExtentProvider):
         return self.base.generation()
 
     def invalidate(self) -> None:
-        self._cache.clear()
-        self._base_generation = self.base.generation()
-        super().invalidate()
+        with self._sync_lock():
+            # Copy-on-write: readers holding the old dict keep a snapshot.
+            self._cache = {}
+            self._base_generation = self.base.generation()
+            super().invalidate()
 
     def extent(self, predicate: str, arity: int) -> Set[Tuple]:
-        if self.base.generation() != self._base_generation:
-            self.invalidate()
+        with self._sync_lock():
+            if self.base.generation() != self._base_generation:
+                self.invalidate()
+            cache = self._cache
         rules = self.rewriting.rules_by_head.get(predicate)
         if rules is None:
             return self.base.extent(predicate, arity)
-        cached = self._cache.get(predicate)
+        cached = cache.get(predicate)
         if cached is not None:
             return cached
         result: Set[Tuple] = set()
@@ -241,7 +291,10 @@ class DatalogExtents(ExtentProvider):
                 continue  # head variable not bound by the body — vacuous rule
             for row in base_rows:
                 result.add(tuple(row[i] for i in indices))
-        self._cache[predicate] = result
+        with self._sync_lock():
+            if self._cache is cache:  # snapshot still current — memoize
+                cache.setdefault(predicate, result)
+                return cache[predicate]
         return result
 
 

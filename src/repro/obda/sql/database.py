@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Sequence
 
 from ...errors import MappingError
@@ -23,6 +24,9 @@ class Database:
     def __init__(self, name: str = "db"):
         self.name = name
         self._tables: Dict[str, Table] = {}
+        #: serializes schema changes (table creation) against generation
+        #: reads; row-level bumps are guarded by each table's own lock.
+        self._lock = threading.Lock()
         self._structure_generation = 0
 
     @property
@@ -33,27 +37,32 @@ class Database:
         invalidate its cross-query extent/index caches the moment any
         table gains rows or the schema changes.
         """
-        return self._structure_generation + sum(
-            table.generation for table in self._tables.values()
-        )
+        with self._lock:
+            tables = list(self._tables.values())
+            structure = self._structure_generation
+        return structure + sum(table.generation for table in tables)
 
     def create_table(
         self, name: str, columns: Sequence[str], rows: Iterable[Sequence] = ()
     ) -> Table:
-        if name in self._tables:
-            raise MappingError(f"table {name!r} already exists in database {self.name!r}")
         table = Table(name, columns, rows)
-        self._tables[name] = table
-        self._structure_generation += 1
+        with self._lock:
+            if name in self._tables:
+                raise MappingError(
+                    f"table {name!r} already exists in database {self.name!r}"
+                )
+            self._tables[name] = table
+            self._structure_generation += 1
         return table
 
     def add_table(self, table: Table) -> Table:
-        if table.name in self._tables:
-            raise MappingError(
-                f"table {table.name!r} already exists in database {self.name!r}"
-            )
-        self._tables[table.name] = table
-        self._structure_generation += 1
+        with self._lock:
+            if table.name in self._tables:
+                raise MappingError(
+                    f"table {table.name!r} already exists in database {self.name!r}"
+                )
+            self._tables[table.name] = table
+            self._structure_generation += 1
         return table
 
     def table(self, name: str) -> Table:

@@ -9,6 +9,7 @@ to be a DBMS.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ...errors import MappingError
@@ -30,6 +31,9 @@ class Table:
             column: index for index, column in enumerate(self.columns)
         }
         self.rows: List[Row] = []
+        #: serializes inserts so the row append and its generation bump
+        #: are one atomic step (readers iterate the append-only list).
+        self._lock = threading.Lock()
         #: mutation counter; virtual-extent caches key their validity on it
         self.generation = 0
         for row in rows:
@@ -41,8 +45,9 @@ class Table:
                 f"row arity {len(row)} does not match table {self.name!r} "
                 f"({len(self.columns)} columns)"
             )
-        self.rows.append(tuple(row))
-        self.generation += 1
+        with self._lock:
+            self.rows.append(tuple(row))
+            self.generation += 1
 
     def insert_many(self, rows: Iterable[Sequence]) -> None:
         for row in rows:

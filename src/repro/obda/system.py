@@ -28,6 +28,7 @@ rewritten extent of its role/attribute.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.classifier import GraphClassifier
@@ -139,6 +140,12 @@ class OBDASystem:
         self.database = database
         self.abox = abox
         self.enable_caches = enable_caches
+        #: guards the system's own mutable state (classification slot,
+        #: generation snapshot, consistency verdicts, pruning counters,
+        #: shared-extent construction).  Never held while classifying,
+        #: rewriting or evaluating — only around bookkeeping — so it
+        #: cannot participate in a lock cycle (see DESIGN.md).
+        self._lock = threading.RLock()
         self._classification: Optional[Classification] = None
         self._classification_generation: Optional[int] = None
         self._violation_rewritings: Optional[List[Tuple[str, UnionQuery]]] = None
@@ -179,19 +186,20 @@ class OBDASystem:
 
     def _validate_caches(self) -> None:
         """Drop every TBox-derived cache when the TBox has been mutated."""
-        generation = getattr(self.tbox, "generation", 0)
-        if generation == self._tbox_generation:
-            return
-        self._tbox_generation = generation
-        self._classification = None
-        self._classification_generation = None
-        self._violation_rewritings = None
-        if self.enable_caches:
-            self._rewriting_cache.invalidate()
-            self._unfolding_cache.invalidate()
-            self._answer_cache.invalidate()
-            self._datalog_extents.invalidate()
-            self._consistency_cache.clear()
+        with self._lock:
+            generation = getattr(self.tbox, "generation", 0)
+            if generation == self._tbox_generation:
+                return
+            self._tbox_generation = generation
+            self._classification = None
+            self._classification_generation = None
+            self._violation_rewritings = None
+            if self.enable_caches:
+                self._rewriting_cache.invalidate()
+                self._unfolding_cache.invalidate()
+                self._answer_cache.invalidate()
+                self._datalog_extents.invalidate()
+                self._consistency_cache = {}
 
     def invalidate_caches(self) -> None:
         """Explicitly drop every cache held by this system.
@@ -201,17 +209,18 @@ class OBDASystem:
         only after out-of-band mutation the generation counters cannot
         see (e.g. editing a mapping collection in place).
         """
-        self._classification = None
-        self._classification_generation = None
-        self._violation_rewritings = None
-        if self._shared_extents is not None:
-            self._shared_extents.invalidate()
-        if self.enable_caches:
-            self._rewriting_cache.invalidate()
-            self._unfolding_cache.invalidate()
-            self._answer_cache.invalidate()
-            self._datalog_extents.invalidate()
-            self._consistency_cache.clear()
+        with self._lock:
+            self._classification = None
+            self._classification_generation = None
+            self._violation_rewritings = None
+            if self._shared_extents is not None:
+                self._shared_extents.invalidate()
+            if self.enable_caches:
+                self._rewriting_cache.invalidate()
+                self._unfolding_cache.invalidate()
+                self._answer_cache.invalidate()
+                self._datalog_extents.invalidate()
+                self._consistency_cache = {}
 
     def cache_stats(self) -> Dict[str, Dict[str, object]]:
         """Hit/miss/eviction statistics of every cache this system uses."""
@@ -231,27 +240,41 @@ class OBDASystem:
 
     @property
     def classification(self) -> Classification:
-        self._validate_caches()
-        if self._classification is None:
-            tracer = current_tracer()
-            with tracer.span("classify") as span:
-                if self._classification_cache is not None:
-                    stats = self._classification_cache.stats
-                    hits_before = stats.hits
-                    self._classification = self._classification_cache.classify(
-                        self.tbox
-                    )
-                    span.set("cache", "hit" if stats.hits > hits_before else "miss")
-                else:
-                    span.set("cache", "off")
-                    self._classification = GraphClassifier().classify(self.tbox)
-                if tracer.enabled:
-                    span.set("axioms", len(self.tbox))
-                    span.set(
-                        "subsumptions", self._classification.subsumption_count()
-                    )
-            self._classification_generation = self._tbox_generation
-        return self._classification
+        # Check-then-act made safe: compute outside the lock (the shared
+        # cache runs single-flight, so concurrent first-touch classifies
+        # once), then install only if the TBox generation we computed for
+        # is still current — a concurrent axiom add restarts the loop
+        # instead of letting a stale classification overwrite a fresh
+        # invalidation.
+        while True:
+            self._validate_caches()
+            with self._lock:
+                generation = self._tbox_generation
+                if self._classification is not None:
+                    return self._classification
+            computed = self._classify_now()
+            with self._lock:
+                if getattr(self.tbox, "generation", 0) == generation:
+                    if self._tbox_generation == generation:
+                        self._classification = computed
+                        self._classification_generation = generation
+                    return computed
+
+    def _classify_now(self) -> Classification:
+        tracer = current_tracer()
+        with tracer.span("classify") as span:
+            if self._classification_cache is not None:
+                stats = self._classification_cache.stats
+                hits_before = stats.hits
+                computed = self._classification_cache.classify(self.tbox)
+                span.set("cache", "hit" if stats.hits > hits_before else "miss")
+            else:
+                span.set("cache", "off")
+                computed = GraphClassifier().classify(self.tbox)
+            if tracer.enabled:
+                span.set("axioms", len(self.tbox))
+                span.set("subsumptions", computed.subsumption_count())
+        return computed
 
     def extents(
         self, context: Optional[ExecutionContext] = None
@@ -264,12 +287,15 @@ class OBDASystem:
         wrapper is per-context.
         """
         if self.enable_caches:
-            if self._shared_extents is None:
-                if self.abox is not None:
-                    self._shared_extents = ABoxExtents(self.abox)
-                else:
-                    self._shared_extents = MappingExtents(self.mappings, self.database)
-            provider: ExtentProvider = self._shared_extents
+            with self._lock:  # exactly one shared provider, ever
+                if self._shared_extents is None:
+                    if self.abox is not None:
+                        self._shared_extents = ABoxExtents(self.abox)
+                    else:
+                        self._shared_extents = MappingExtents(
+                            self.mappings, self.database
+                        )
+                provider: ExtentProvider = self._shared_extents
         elif self.abox is not None:
             provider = ABoxExtents(self.abox)
         else:
@@ -332,9 +358,10 @@ class OBDASystem:
 
                 raw = perfect_ref(ucq, self.tbox, minimize=False, budget=budget)
                 pruned = prune_ucq(raw)
-                self.pruning_stats["before"] += pruned.before
-                self.pruning_stats["after"] += pruned.after
-                self.pruning_stats["rewrites"] += 1
+                with self._lock:  # read-modify-write of shared counters
+                    self.pruning_stats["before"] += pruned.before
+                    self.pruning_stats["after"] += pruned.after
+                    self.pruning_stats["rewrites"] += 1
                 rewritten = pruned.ucq
                 span.annotate(
                     disjuncts_before_pruning=pruned.before,
@@ -652,8 +679,9 @@ class OBDASystem:
         with tracer.span("consistency") as span:
             verdict_key = None
             if self.enable_caches:
-                verdict_key = (self._tbox_generation, self._data_generation())
-                cached = self._consistency_cache.get(verdict_key)
+                with self._lock:
+                    verdict_key = (self._tbox_generation, self._data_generation())
+                    cached = self._consistency_cache.get(verdict_key)
                 if cached is not None:
                     span.set("cache", "hit")
                     span.set("witnesses", len(cached))
@@ -671,16 +699,23 @@ class OBDASystem:
         self, context: Optional[ExecutionContext], verdict_key
     ) -> List[str]:
         budget = context.scoped("consistency:check") if context else None
-        if self._violation_rewritings is None:
+        rewritings = self._violation_rewritings
+        if rewritings is None:
             rewritings = []
             for label, ucq in self.violation_queries():
                 if budget is not None:
                     budget.check()
                 rewritings.append((label, perfect_ref(ucq, self.tbox, budget=budget)))
-            self._violation_rewritings = rewritings
+            with self._lock:
+                # First completed build wins; a racing duplicate build is
+                # discarded (both are derived from the same TBox snapshot).
+                if self._violation_rewritings is None:
+                    self._violation_rewritings = rewritings
+                else:
+                    rewritings = self._violation_rewritings
         witnesses: List[str] = []
         extents = self.extents(context)
-        for label, rewritten in self._violation_rewritings:
+        for label, rewritten in rewritings:
             if budget is not None:
                 budget.check()
             if evaluate_ucq(rewritten, extents, budget=budget):
@@ -708,9 +743,10 @@ class OBDASystem:
                     witnesses.append(f"unsatisfiable predicate populated: {node}")
         if verdict_key is not None:
             # completed check only — a budget abort raised before this line
-            self._consistency_cache[verdict_key] = list(witnesses)
-            if len(self._consistency_cache) > 64:
-                self._consistency_cache.pop(next(iter(self._consistency_cache)))
+            with self._lock:
+                self._consistency_cache[verdict_key] = list(witnesses)
+                if len(self._consistency_cache) > 64:
+                    self._consistency_cache.pop(next(iter(self._consistency_cache)))
         return witnesses
 
     def is_consistent(self, context: Optional[ExecutionContext] = None) -> bool:

@@ -39,16 +39,26 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing event count."""
+    """A monotonically increasing event count.
 
-    __slots__ = ("name", "value")
+    ``inc`` is a locked read-modify-write: ``self.value += amount``
+    compiles to separate load and store bytecodes, so two unlocked
+    threads can drop increments.  Under the soak drill those drops made
+    e.g. ``runtime.admission.requests`` disagree with the number of
+    requests actually issued.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
-    def inc(self, amount: int = 1) -> None:
-        self.value += amount
+    def inc(self, amount: int = 1) -> int:
+        with self._lock:
+            self.value += amount
+            return self.value
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value})"
@@ -73,7 +83,7 @@ class Gauge:
 class Histogram:
     """Count/total/min/max summary of observed samples."""
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -81,26 +91,34 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        # One lock for the whole update so count/total/min/max always
+        # describe the same sample set (a torn update could report a
+        # mean outside [min, max]).
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            count, total = self.count, self.total
+            minimum, maximum = self.min, self.max
         return {
-            "count": self.count,
-            "total": round(self.total, 6),
-            "mean": round(self.mean, 6),
-            "min": round(self.min, 6) if self.min is not None else None,
-            "max": round(self.max, 6) if self.max is not None else None,
+            "count": count,
+            "total": round(total, 6),
+            "mean": round(total / count, 6) if count else 0.0,
+            "min": round(minimum, 6) if minimum is not None else None,
+            "max": round(maximum, 6) if maximum is not None else None,
         }
 
     def __repr__(self) -> str:
@@ -112,8 +130,10 @@ class MetricsRegistry:
 
     Instruments are created on first use (``registry.counter(name)``),
     so call sites never need registration boilerplate; creation is
-    locked, increments are plain attribute writes (the GIL makes them
-    atomic enough for statistics).
+    locked on the registry, updates are locked per-instrument (each
+    counter/histogram owns a leaf lock), and snapshots copy the
+    instrument tables before iterating, so a hammering workload can
+    read and write metrics concurrently without losing events.
     """
 
     def __init__(self):
@@ -157,22 +177,25 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, object]:
         """Everything the registry knows, as one JSON-serializable dict."""
+        with self._lock:
+            # Instrument creation mutates these dicts; snapshot the item
+            # lists so a concurrent first-use can't resize mid-iteration.
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+            probes = sorted(self._probes.items())
         result: Dict[str, object] = {
             "counters": {
-                name: counter.value
-                for name, counter in sorted(self._counters.items())
-                if counter.value
+                name: counter.value for name, counter in counters if counter.value
             },
-            "gauges": {
-                name: gauge.value for name, gauge in sorted(self._gauges.items())
-            },
+            "gauges": {name: gauge.value for name, gauge in gauges},
             "histograms": {
                 name: histogram.to_dict()
-                for name, histogram in sorted(self._histograms.items())
+                for name, histogram in histograms
                 if histogram.count
             },
         }
-        for name, probe in sorted(self._probes.items()):
+        for name, probe in probes:
             try:
                 result[name] = probe()
             except Exception as error:  # a broken probe must not break snapshots
@@ -183,13 +206,15 @@ class MetricsRegistry:
         """Zero every instrument (probes are external state, left alone)."""
         with self._lock:
             for counter in self._counters.values():
-                counter.value = 0
+                with counter._lock:
+                    counter.value = 0
             for gauge in self._gauges.values():
                 gauge.value = None
             for histogram in self._histograms.values():
-                histogram.count = 0
-                histogram.total = 0.0
-                histogram.min = histogram.max = None
+                with histogram._lock:
+                    histogram.count = 0
+                    histogram.total = 0.0
+                    histogram.min = histogram.max = None
 
     def __repr__(self) -> str:
         return (

@@ -11,7 +11,12 @@ Bounded, degradable execution for the whole OBDA stack:
 * :mod:`repro.runtime.faults` — seeded fault injection used by the
   tier-1 resilience tests;
 * :mod:`repro.runtime.execution` — the context object
-  ``OBDASystem`` threads through a query.
+  ``OBDASystem`` threads through a query;
+* :mod:`repro.runtime.concurrency` — atomic counters, single-flight
+  deduplication and the admission controller (bounded concurrency,
+  queueing, load shedding) in front of query answering;
+* :mod:`repro.runtime.soak` — the seeded chaos-soak drill behind the
+  ``repro soak`` CLI command.
 
 Only :mod:`.budget` is imported eagerly: it is a leaf module, and
 :mod:`repro.util.timing` (imported by every reasoner) depends on it.
@@ -25,6 +30,9 @@ from __future__ import annotations
 from .budget import Budget, Deadline
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionOutcome",
+    "AtomicCounter",
     "Budget",
     "ChainResult",
     "Deadline",
@@ -39,6 +47,9 @@ __all__ = [
     "RetryPolicy",
     "RetryingDatabase",
     "RetryingExtents",
+    "SingleFlight",
+    "SoakConfig",
+    "run_soak",
 ]
 
 _LAZY = {
@@ -54,6 +65,12 @@ _LAZY = {
     "FaultyDatabase": "faults",
     "FaultyReasoner": "faults",
     "ExecutionContext": "execution",
+    "AdmissionController": "concurrency",
+    "AdmissionOutcome": "concurrency",
+    "AtomicCounter": "concurrency",
+    "SingleFlight": "concurrency",
+    "SoakConfig": "soak",
+    "run_soak": "soak",
 }
 
 

@@ -16,6 +16,7 @@ stream, which models one flaky source behind several access paths.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -62,25 +63,39 @@ class FaultInjector:
         self.calls = 0
         self.transients_injected = 0
         self.slow_calls_injected = 0
+        #: makes the (counter check, counter bump, rng draw) sequence one
+        #: atomic step, so concurrent callers see a serialized lottery —
+        #: ``permanent_after=N`` admits exactly N calls, never N±k, and
+        #: the seeded stream is consumed one whole decision at a time.
+        self._lock = threading.Lock()
 
     def before_call(self, task: str) -> None:
-        """Run the fault lottery for one call; raises or returns."""
+        """Run the fault lottery for one call; raises or returns.
+
+        Thread-safe: the decision (including every RNG draw) happens
+        under the injector's lock; only the injected *sleep* runs
+        outside it, so slow-call faults don't serialize other callers.
+        """
         spec = self.spec
-        if spec.permanent_after is not None and self.calls >= spec.permanent_after:
-            raise PermanentSourceError(
-                f"{task}: source permanently unavailable "
-                f"(injected after {self.calls} call(s))"
-            )
-        self.calls += 1
-        if spec.slow_rate > 0.0 and self.rng.random() < spec.slow_rate:
-            self.slow_calls_injected += 1
-            time.sleep(spec.slow_call_s)
-        if spec.transient_rate > 0.0 and self.rng.random() < spec.transient_rate:
-            self.transients_injected += 1
-            raise TransientSourceError(
-                f"{task}: injected transient fault "
-                f"#{self.transients_injected} (call {self.calls})"
-            )
+        with self._lock:
+            if spec.permanent_after is not None and self.calls >= spec.permanent_after:
+                raise PermanentSourceError(
+                    f"{task}: source permanently unavailable "
+                    f"(injected after {self.calls} call(s))"
+                )
+            self.calls += 1
+            sleep_s = 0.0
+            if spec.slow_rate > 0.0 and self.rng.random() < spec.slow_rate:
+                self.slow_calls_injected += 1
+                sleep_s = spec.slow_call_s
+            if spec.transient_rate > 0.0 and self.rng.random() < spec.transient_rate:
+                self.transients_injected += 1
+                raise TransientSourceError(
+                    f"{task}: injected transient fault "
+                    f"#{self.transients_injected} (call {self.calls})"
+                )
+        if sleep_s > 0.0:
+            time.sleep(sleep_s)
 
     def __repr__(self) -> str:
         return (
@@ -100,6 +115,16 @@ class FaultyExtents(ExtentProvider):
     def extent(self, predicate: str, arity: int):
         self.injector.before_call(f"extent:{predicate}")
         return self.inner.extent(predicate, arity)
+
+    # Delegate cache-coherence hooks so a wrapped provider still tracks
+    # the underlying data: without these, the default generation()==0
+    # would keep serving index snapshots across ABox/database mutation.
+    def generation(self) -> int:
+        return self.inner.generation()
+
+    def invalidate(self) -> None:
+        self.inner.invalidate()
+        super().invalidate()
 
 
 class FaultyDatabase(Database):

@@ -68,15 +68,23 @@ class RetryPolicy:
     def retryable_error(self, error: BaseException) -> bool:
         return isinstance(error, self.retryable)
 
+    def jitter_stream(self, task: str) -> "_JitterStream":
+        """A private, seeded jitter stream for one retry loop.
+
+        Each :meth:`call` invocation owns its own stream — no state is
+        shared between calls, so concurrent retry loops cannot perturb
+        each other's draws and every ``(seed, task, attempt)`` triple
+        maps to the same delay no matter how threads interleave.
+        """
+        return _JitterStream(self, task)
+
     def delay_s(self, attempt: int, task: str = "") -> float:
-        """The (deterministic) delay after failed attempt number *attempt*."""
-        raw = min(
-            self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s
-        )
-        if self.jitter <= 0.0 or raw <= 0.0:
-            return raw
-        rng = random.Random(f"{self.seed}:{task}:{attempt}")
-        return raw * (1.0 - self.jitter * rng.random())
+        """The (deterministic) delay after failed attempt number *attempt*.
+
+        A pure function of ``(seed, task, attempt)`` — equal to what a
+        :meth:`jitter_stream` for the same task yields at that attempt.
+        """
+        return self.jitter_stream(task).delay_s(attempt)
 
     def call(
         self,
@@ -95,6 +103,7 @@ class RetryPolicy:
         """
         tracer = current_tracer()
         metrics = global_metrics()
+        jitter = self.jitter_stream(task)  # per-call: see jitter_stream()
         attempt = 1
         while True:
             if budget is not None:
@@ -121,7 +130,7 @@ class RetryPolicy:
                     raise PermanentSourceError(
                         f"{task} still failing after {attempt} attempt(s): {error}"
                     ) from error
-                delay = self.delay_s(attempt, task=task)
+                delay = jitter.delay_s(attempt)
                 if budget is not None:
                     remaining = budget.remaining_s
                     if remaining is not None:
@@ -138,6 +147,33 @@ class RetryPolicy:
                 if delay > 0:
                     self.sleep(delay)
                 attempt += 1
+
+
+class _JitterStream:
+    """The jitter source of a single retry loop.
+
+    Not shared and not locked: each stream belongs to exactly one
+    :meth:`RetryPolicy.call` frame.  The delay for attempt *N* is keyed
+    as ``(seed, task, N)`` rather than by draw order, so the stream is
+    insensitive to how many attempts other threads happen to make.
+    """
+
+    __slots__ = ("policy", "task")
+
+    def __init__(self, policy: RetryPolicy, task: str):
+        self.policy = policy
+        self.task = task
+
+    def delay_s(self, attempt: int) -> float:
+        policy = self.policy
+        raw = min(
+            policy.base_delay_s * policy.multiplier ** (attempt - 1),
+            policy.max_delay_s,
+        )
+        if policy.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        rng = random.Random(f"{policy.seed}:{self.task}:{attempt}")
+        return raw * (1.0 - policy.jitter * rng.random())
 
 
 class RetryingExtents(ExtentProvider):
@@ -161,6 +197,15 @@ class RetryingExtents(ExtentProvider):
             task=f"extent:{predicate}",
             budget=self.budget,
         )
+
+    # Keep the wrapper cache-coherent with the wrapped provider (the
+    # default generation()==0 would pin index snapshots forever).
+    def generation(self) -> int:
+        return self.inner.generation()
+
+    def invalidate(self) -> None:
+        self.inner.invalidate()
+        super().invalidate()
 
 
 class RetryingDatabase(Database):

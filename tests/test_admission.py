@@ -1,0 +1,210 @@
+"""Tests for the admission controller in front of certain-answer queries."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.dllite.abox import ABox, ConceptAssertion, Individual
+from repro.dllite.axioms import ConceptInclusion
+from repro.dllite.syntax import AtomicConcept
+from repro.dllite.tbox import TBox
+from repro.errors import DegradedResult
+from repro.obda.evaluation import ABoxExtents, ExtentProvider
+from repro.obda.system import OBDASystem
+from repro.runtime.concurrency import (
+    AdmissionController,
+    AdmissionOutcome,
+    AtomicCounter,
+)
+from repro.runtime.faults import FaultInjector, FaultSpec, FaultyExtents
+
+_STUDENT = AtomicConcept("Student")
+_PERSON = AtomicConcept("Person")
+_QUERY = "q(x) :- Person(x)"
+
+
+def _system():
+    tbox = TBox([ConceptInclusion(_STUDENT, _PERSON)], name="admission")
+    abox = ABox(
+        [ConceptAssertion(_STUDENT, Individual(f"s{index}")) for index in range(3)]
+    )
+    return OBDASystem(tbox, abox=abox)
+
+
+class _SlowExtents(ExtentProvider):
+    """Counts concurrent extent pulls and can block them on an event."""
+
+    def __init__(self, inner, delay_s=0.0, hold=None):
+        self.inner = inner
+        self.delay_s = delay_s
+        self.hold = hold
+        self.concurrent = AtomicCounter()
+        self.peak = AtomicCounter()
+
+    def extent(self, predicate, arity):
+        level = self.concurrent.increment()
+        # racy max is fine: we only need peak >= true peak never to hold
+        if level > self.peak.value:
+            self.peak.increment(level - self.peak.value)
+        try:
+            if self.hold is not None:
+                self.hold.wait(10.0)
+            if self.delay_s:
+                time.sleep(self.delay_s)
+            return self.inner.extent(predicate, arity)
+        finally:
+            self.concurrent.increment(-1)
+
+    def generation(self):
+        return self.inner.generation()
+
+
+def _run_threads(target, count):
+    threads = [
+        threading.Thread(target=target, args=(index,)) for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30.0)
+        assert not thread.is_alive()
+
+
+def test_ok_outcome_carries_answers_and_stamps():
+    system = _system()
+    controller = AdmissionController(max_concurrency=2)
+    outcome = controller.certain_answers(system, _QUERY, check_consistency=False)
+    assert isinstance(outcome, AdmissionOutcome)
+    assert outcome.outcome == "ok" and not outcome.degraded
+    assert len(outcome.answers) == 3
+    assert outcome.stamp_before == outcome.stamp_after
+    assert set(outcome.to_dict()) >= {"outcome", "stamp_before", "stamp_after"}
+
+
+def test_gate_bounds_concurrent_evaluations():
+    system = _system()
+    slow = _SlowExtents(ABoxExtents(system.abox), delay_s=0.02)
+    system._shared_extents = slow
+    controller = AdmissionController(
+        max_concurrency=2, max_queue=32, queue_timeout_s=10.0, dedup_in_flight=False
+    )
+    outcomes = []
+    lock = threading.Lock()
+
+    def work(index):
+        # distinct query names so requests cannot share rewriting work
+        outcome = controller.certain_answers(
+            system, f"q{index}(x) :- Person(x)", check_consistency=False
+        )
+        with lock:
+            outcomes.append(outcome)
+
+    _run_threads(work, 8)
+    assert all(outcome.outcome == "ok" for outcome in outcomes)
+    assert controller.stats()["peak_active"] <= 2
+    assert slow.peak.value <= 2
+
+
+def test_overload_sheds_with_flag_and_warning():
+    system = _system()
+    hold = threading.Event()
+    system._shared_extents = _SlowExtents(ABoxExtents(system.abox), hold=hold)
+    controller = AdmissionController(
+        max_concurrency=1,
+        max_queue=0,
+        queue_timeout_s=0.05,
+        dedup_in_flight=False,
+    )
+    first_done = threading.Event()
+
+    def occupant(_index):
+        controller.certain_answers(system, _QUERY, check_consistency=False)
+        first_done.set()
+
+    blocker = threading.Thread(target=occupant, args=(0,))
+    blocker.start()
+    deadline = time.monotonic() + 5.0
+    while controller.stats()["active"] == 0 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    try:
+        with pytest.warns(DegradedResult):
+            shed = controller.certain_answers(
+                system, "q2(x) :- Person(x)", check_consistency=False
+            )
+    finally:
+        hold.set()
+        blocker.join(10.0)
+    assert shed.shed and shed.degraded and shed.outcome == "shed"
+    assert shed.answers == frozenset()
+    assert "queue full" in shed.reason
+    assert first_done.wait(10.0)
+
+
+def test_in_flight_identical_queries_are_deduped():
+    system = _system()
+    hold = threading.Event()
+    slow = _SlowExtents(ABoxExtents(system.abox), hold=hold)
+    system._shared_extents = slow
+    controller = AdmissionController(max_concurrency=4, queue_timeout_s=10.0)
+    outcomes = []
+    lock = threading.Lock()
+
+    def work(_index):
+        outcome = controller.certain_answers(system, _QUERY, check_consistency=False)
+        with lock:
+            outcomes.append(outcome)
+
+    threads = [threading.Thread(target=work, args=(index,)) for index in range(4)]
+    for thread in threads:
+        thread.start()
+    # wait until the leader is inside the (blocked) evaluation, so the
+    # other three requests must join its flight rather than race past it
+    deadline = time.monotonic() + 5.0
+    while slow.concurrent.value == 0 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    time.sleep(0.05)
+    hold.set()
+    for thread in threads:
+        thread.join(10.0)
+        assert not thread.is_alive()
+
+    assert len(outcomes) == 4
+    assert all(outcome.answers == outcomes[0].answers for outcome in outcomes)
+    deduped = [outcome for outcome in outcomes if outcome.deduped]
+    assert deduped, "concurrent identical queries should share one flight"
+    # the system evaluated once: only the leader pulled extents
+    assert slow.peak.value == 1
+
+
+def test_source_outage_degrades_instead_of_raising():
+    system = _system()
+    system._shared_extents = FaultyExtents(
+        ABoxExtents(system.abox), FaultInjector(FaultSpec(permanent_after=0))
+    )
+    controller = AdmissionController(max_concurrency=2)
+    with pytest.warns(DegradedResult):
+        outcome = controller.certain_answers(system, _QUERY, check_consistency=False)
+    assert outcome.outcome == "degraded" and outcome.degraded
+    assert not outcome.shed
+    assert "PermanentSourceError" in outcome.reason
+    assert outcome.answers == frozenset()
+
+
+def test_mutation_between_requests_separates_flights():
+    system = _system()
+    controller = AdmissionController(max_concurrency=2)
+    before = controller.certain_answers(system, _QUERY, check_consistency=False)
+    system.abox.add(ConceptAssertion(_STUDENT, Individual("late")))
+    after = controller.certain_answers(system, _QUERY, check_consistency=False)
+    assert len(after.answers) == len(before.answers) + 1
+    assert after.stamp_before > before.stamp_before
+
+
+def test_constructor_validates_limits():
+    with pytest.raises(ValueError):
+        AdmissionController(max_concurrency=0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue=-1)
