@@ -2,8 +2,12 @@
 
 Times certain-answer computation over mapped relational data for each
 answering method (PerfectRef over virtual extents, PerfectRef unfolded
-to source SQL, Presto datalog), on a generated university-style instance
-of growing size.  All three must return identical answers.
+to source SQL — both through the cost-based planner and through the
+naive algebra evaluator — and Presto datalog), on a generated
+university-style instance of growing size.  All methods must return
+identical answers; each entry records whether the planned SQL path ran
+(``extra_info["planned"]``) so ``repro perf-report --check`` can gate
+on the planned-vs-KB gap.
 """
 
 from __future__ import annotations
@@ -34,12 +38,12 @@ exists teaches isa Teacher
 exists teaches^- isa Course
 """
 
-METHODS = ["perfectref", "perfectref-sql", "presto"]
+METHODS = ["perfectref", "perfectref-sql", "perfectref-sql-noplan", "presto"]
 SIZES = [200, 2000]
 
 
 @lru_cache(maxsize=None)
-def university_system(rows: int) -> OBDASystem:
+def university_system(rows: int, use_planner: bool = True) -> OBDASystem:
     rng = random.Random(rows)
     db = Database("campus")
     staff = db.create_table("staff", ["id", "role"])
@@ -69,7 +73,12 @@ def university_system(rows: int) -> OBDASystem:
             ),
         ]
     )
-    return OBDASystem(parse_tbox(TBOX_TEXT), mappings=mappings, database=db)
+    return OBDASystem(
+        parse_tbox(TBOX_TEXT),
+        mappings=mappings,
+        database=db,
+        use_planner=use_planner,
+    )
 
 
 QUERY = "q(x) :- Teacher(x), teaches(x, y)"
@@ -78,14 +87,19 @@ QUERY = "q(x) :- Teacher(x), teaches(x, y)"
 @pytest.mark.parametrize("rows", SIZES)
 @pytest.mark.parametrize("method", METHODS)
 def test_obda_answering(benchmark, rows, method):
-    system = university_system(rows)
+    use_planner = method != "perfectref-sql-noplan"
+    real_method = "perfectref-sql" if method.startswith("perfectref-sql") else method
+    system = university_system(rows, use_planner)
     answers = benchmark.pedantic(
-        lambda: system.certain_answers(QUERY, method=method, check_consistency=False),
+        lambda: system.certain_answers(
+            QUERY, method=real_method, check_consistency=False
+        ),
         rounds=1,
         iterations=1,
         warmup_rounds=0,
     )
-    benchmark.extra_info["method"] = method
+    benchmark.extra_info["method"] = real_method
+    benchmark.extra_info["planned"] = use_planner and real_method == "perfectref-sql"
     benchmark.extra_info["rows"] = rows
     benchmark.extra_info["answers"] = len(answers)
     reference = system.certain_answers(

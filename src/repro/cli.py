@@ -410,6 +410,7 @@ def _cmd_explain(args) -> int:
         seed=args.seed,
         budget=args.budget,
         fallback=args.fallback,
+        use_planner=not args.no_planner,
     )
     print(render_explain(report))
     problems = []
@@ -449,6 +450,8 @@ def _cmd_conformance(args) -> int:
         budget_s=args.budget,
         semantics_every=args.semantics_every,
         obda_every=args.obda_every,
+        planner_every=args.planner_every,
+        mode=args.mode,
         regression_dir=args.regressions,
         shrink=not args.no_shrink,
     )
@@ -694,6 +697,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the end-to-end OBDA answer diff every Nth round (0 = never)",
     )
     conformance.add_argument(
+        "--planner-every",
+        type=int,
+        default=2,
+        help="run the naive-vs-planned SQL equivalence diff every Nth "
+        "round (0 = never)",
+    )
+    conformance.add_argument(
+        "--mode",
+        choices=["all", "planner"],
+        default="all",
+        help="'planner' runs only the naive-vs-planned SQL oracle every "
+        "round (the planner-smoke CI job)",
+    )
+    conformance.add_argument(
         "--regressions",
         help="directory to write minimized reproducers into "
         "(e.g. tests/regressions)",
@@ -740,6 +757,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fallback",
         action="store_true",
         help="also classify through the resilient fallback chain, traced",
+    )
+    explain.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="run the perfectref-sql path through the naive evaluator "
+        "instead of the cost-based planner",
     )
     explain.add_argument(
         "--json", help="write the trace as JSON-lines to this file"

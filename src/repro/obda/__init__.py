@@ -1,5 +1,6 @@
 """Ontology-Based Data Access: queries, mappings, rewriting, the OBDA engine."""
 
+from .constraints import ExtensionalConstraints, prune_ucq_with_constraints
 from .cq_parser import parse_cq, parse_query
 from .datalog import Program, ProgramExtents, Rule, evaluate_program
 from .eql import EqlAnd, EqlExists, EqlNot, EqlOr, EqlQuery, KAtom, evaluate_eql
@@ -51,6 +52,7 @@ __all__ = [
     "EqlNot",
     "EqlOr",
     "EqlQuery",
+    "ExtensionalConstraints",
     "KAtom",
     "DatalogRewriting",
     "ExtentProvider",
@@ -81,5 +83,6 @@ __all__ = [
     "parse_sql",
     "perfect_ref",
     "presto_rewrite",
+    "prune_ucq_with_constraints",
     "unfold",
 ]

@@ -14,8 +14,10 @@ from .algebra import (
     evaluate,
 )
 from .database import Database
+from .planner import PlannedQuery, Planner
 from .render import algebra_to_sql
 from .sqlparser import parse_sql
+from .stats import StatisticsCatalog, TableStatistics
 from .table import Table
 
 __all__ = [
@@ -24,12 +26,16 @@ __all__ = [
     "Database",
     "Expression",
     "Join",
+    "PlannedQuery",
+    "Planner",
     "Projection",
     "Rename",
     "ResultSet",
     "Scan",
     "Selection",
+    "StatisticsCatalog",
     "Table",
+    "TableStatistics",
     "UnionAll",
     "algebra_to_sql",
     "evaluate",

@@ -160,6 +160,10 @@ def evaluate(
         columns = [f"{prefix}.{column}" for column in table.columns]
         return ResultSet(columns, list(table.rows))
     if isinstance(expression, Selection):
+        if isinstance(expression.source, Join):
+            return _evaluate_join(
+                expression.source, expression.conditions, database, budget
+            )
         source = evaluate(expression.source, database, budget)
         predicate = _compile_conditions(expression.conditions, source)
         return ResultSet(source.columns, [row for row in source.rows if predicate(row)])
@@ -173,22 +177,7 @@ def evaluate(
         result = ResultSet(names, rows)
         return result.distinct() if expression.distinct else result
     if isinstance(expression, Join):
-        left = evaluate(expression.left, database, budget)
-        right = evaluate(expression.right, database, budget)
-        left_keys = [_resolve(left, l) for l, _ in expression.on]
-        right_keys = [_resolve(right, r) for _, r in expression.on]
-        index: Dict[Tuple, List[Tuple]] = {}
-        for row in right.rows:
-            index.setdefault(tuple(row[i] for i in right_keys), []).append(row)
-        columns = list(left.columns) + list(right.columns)
-        rows = []
-        for row in left.rows:
-            key = tuple(row[i] for i in left_keys)
-            for match in index.get(key, ()):
-                if budget is not None:
-                    budget.tick()
-                rows.append(row + match)
-        return ResultSet(columns, rows)
+        return _evaluate_join(expression, (), database, budget)
     if isinstance(expression, Rename):
         source = evaluate(expression.source, database, budget)
         columns = [
@@ -204,6 +193,94 @@ def evaluate(
         rows = [row for part in parts for row in part.rows]
         return ResultSet(parts[0].columns, rows)
     raise TypeError(f"not an algebra expression: {expression!r}")
+
+
+def _join_hash_key(values) -> Tuple[str, ...]:
+    """String-normalized hash key so bucketing agrees with ``equal()``."""
+    return tuple(
+        value if isinstance(value, str) else str(value) for value in values
+    )
+
+
+def _evaluate_join(
+    join: Join,
+    conditions: Sequence[Condition],
+    database: Database,
+    budget: Optional[Budget],
+) -> ResultSet:
+    """Evaluate ``Selection(Join(...), conditions)`` as a hash equi-join.
+
+    The unfolder emits joins with ``on=()`` and parks every join
+    condition in the selection above, which the naive path used to
+    evaluate as a full cross product followed by a filter.  Here the
+    conditions are classified instead: equalities spanning the two sides
+    become hash-join keys, side-local conditions filter their input
+    before the join, and everything else (e.g. ``!=`` across the sides)
+    runs as a residual filter over the joined rows.  Hash keys are
+    string-normalized to match ``equal()``'s fallback (including the
+    ``on`` pairs, so join and selection equality agree), and the output
+    columns/rows are exactly those of the filtered cross product.
+    """
+    left = evaluate(join.left, database, budget)
+    right = evaluate(join.right, database, budget)
+    left_keys = [_resolve(left, l) for l, _ in join.on]
+    right_keys = [_resolve(right, r) for _, r in join.on]
+    columns = list(left.columns) + list(right.columns)
+    width = len(left.columns)
+    combined = ResultSet(columns, [])
+    left_conditions: List[Condition] = []
+    right_conditions: List[Condition] = []
+    residual: List[Condition] = []
+    for condition in conditions:
+        refs = [
+            _resolve(combined, side)
+            for side in (condition.left, condition.right)
+            if not isinstance(side, Const)
+        ]
+        if (
+            condition.operator == "="
+            and len(refs) == 2
+            and (refs[0] < width) != (refs[1] < width)
+        ):
+            left_index, right_index = sorted(refs)
+            left_keys.append(left_index)
+            right_keys.append(right_index - width)
+        elif all(index < width for index in refs):
+            left_conditions.append(condition)
+        elif all(index >= width for index in refs):
+            right_conditions.append(condition)
+        else:
+            residual.append(condition)
+    if left_conditions:
+        predicate = _compile_conditions(left_conditions, left)
+        left = ResultSet(
+            left.columns, [row for row in left.rows if predicate(row)]
+        )
+    if right_conditions:
+        predicate = _compile_conditions(right_conditions, right)
+        right = ResultSet(
+            right.columns, [row for row in right.rows if predicate(row)]
+        )
+    index: Dict[Tuple, List[Tuple]] = {}
+    for row in right.rows:
+        if budget is not None:
+            budget.tick()
+        index.setdefault(
+            _join_hash_key(row[i] for i in right_keys), []
+        ).append(row)
+    residual_predicate = (
+        _compile_conditions(residual, combined) if residual else None
+    )
+    rows = []
+    for row in left.rows:
+        key = _join_hash_key(row[i] for i in left_keys)
+        for match in index.get(key, ()):
+            if budget is not None:
+                budget.tick()
+            joined = row + match
+            if residual_predicate is None or residual_predicate(joined):
+                rows.append(joined)
+    return ResultSet(columns, rows)
 
 
 def _strip(column: str) -> str:

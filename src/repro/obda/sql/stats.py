@@ -1,0 +1,178 @@
+"""Table/column statistics and shared join indexes for the SQL planner.
+
+A cost-based planner needs two things from the storage layer: *numbers*
+(how many rows, how many distinct values per column — the inputs of the
+classic ``|R ⋈ S| = |R||S| / max(V(R,a), V(S,b))`` estimate) and *access
+paths* (hash indexes on join-key columns, so an equi-join probes instead
+of scanning).  :class:`StatisticsCatalog` provides both, cached per
+table and revalidated against the table's generation counter on every
+access — the same invalidation discipline the extent/index caches of
+:mod:`repro.obda.evaluation` already use, so statistics can never be
+served for data that has since changed shape.
+
+Join keys are normalized with :func:`join_key`: the algebra evaluator's
+equality has a string fallback (an IRI template round-trips ``"1"``
+against the integer cell ``1``), so hash buckets key on ``str(value)``
+— two values the filter would call equal always land in one bucket.
+
+Concurrency follows the copy-on-write idiom of
+:meth:`repro.obda.evaluation.ExtentProvider.index`: bookkeeping happens
+under a small lock, construction runs outside it, and a finished
+statistic/index is installed only if the generation it was computed for
+is still current.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...obs.metrics import global_metrics
+from ...runtime.budget import Budget
+from .database import Database
+from .table import Row
+
+__all__ = ["ColumnStatistics", "TableStatistics", "StatisticsCatalog", "join_key"]
+
+
+def join_key(values) -> Tuple[str, ...]:
+    """Hash key for equi-join/bucket values, matching ``equal()``'s fallback."""
+    return tuple(
+        value if isinstance(value, str) else str(value) for value in values
+    )
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Distinct-value count of one column (over string-normalized values)."""
+
+    name: str
+    distinct: int
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Cardinality profile of one table at one generation."""
+
+    table: str
+    row_count: int
+    columns: Tuple[ColumnStatistics, ...]
+
+    def distinct(self, column: str) -> Optional[int]:
+        """Distinct values in *column* (plain name), or None if unknown."""
+        for stats in self.columns:
+            if stats.name == column:
+                return stats.distinct
+        return None
+
+    def selectivity(self, column: str) -> float:
+        """Estimated fraction of rows surviving ``column = const``."""
+        if self.row_count == 0:
+            return 0.0
+        distinct = self.distinct(column)
+        if not distinct:
+            return 0.1  # unknown column: a conventional guess
+        return 1.0 / distinct
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "table": self.table,
+            "rows": self.row_count,
+            "distinct": {stats.name: stats.distinct for stats in self.columns},
+        }
+
+
+class StatisticsCatalog:
+    """Per-table statistics and hash indexes over one :class:`Database`.
+
+    Both caches are keyed by ``Table.generation``; a stale entry is
+    recomputed on the next access, so callers never invalidate manually
+    (``invalidate`` exists for out-of-band mutation only, mirroring the
+    extent provider).  One catalog is meant to be shared by all queries
+    of an :class:`~repro.obda.system.OBDASystem`.
+    """
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._lock = threading.Lock()
+        self._stats: Dict[str, Tuple[int, TableStatistics]] = {}
+        self._indexes: Dict[
+            Tuple[str, Tuple[int, ...]], Tuple[int, Dict[Tuple[str, ...], List[Row]]]
+        ] = {}
+
+    def invalidate(self) -> None:
+        with self._lock:
+            self._stats = {}
+            self._indexes = {}
+
+    def statistics(
+        self, table_name: str, budget: Optional[Budget] = None, table=None
+    ) -> TableStatistics:
+        """Row count + per-column distinct counts, cached per generation.
+
+        Callers holding a resolved :class:`Table` (e.g. fetched through a
+        retry-wrapped database) pass it as *table* so the catalog does not
+        re-resolve it through the raw, unwrapped access path.
+        """
+        if table is None:
+            table = self.database.table(table_name)
+        generation = table.generation
+        with self._lock:
+            entry = self._stats.get(table_name)
+            if entry is not None and entry[0] == generation:
+                return entry[1]
+        rows = list(table.rows)
+        seen: List[set] = [set() for _ in table.columns]
+        for row in rows:
+            if budget is not None:
+                budget.tick()
+            for position, value in enumerate(row):
+                seen[position].add(value if isinstance(value, str) else str(value))
+        stats = TableStatistics(
+            table_name,
+            len(rows),
+            tuple(
+                ColumnStatistics(column, len(values))
+                for column, values in zip(table.columns, seen)
+            ),
+        )
+        global_metrics().counter("obda.planner.stats_refreshes").inc()
+        with self._lock:
+            # Install only if no insert landed while we were scanning.
+            if table.generation == generation:
+                self._stats[table_name] = (generation, stats)
+        return stats
+
+    def row_count(self, table_name: str, budget: Optional[Budget] = None) -> int:
+        return self.statistics(table_name, budget=budget).row_count
+
+    def index(
+        self,
+        table_name: str,
+        positions: Tuple[int, ...],
+        budget: Optional[Budget] = None,
+    ) -> Dict[Tuple[str, ...], List[Row]]:
+        """Rows of *table_name* bucketed by the (stringified) values at
+        *positions*; built lazily, shared across queries, rebuilt when the
+        table's generation moves."""
+        key = (table_name, tuple(positions))
+        table = self.database.table(table_name)
+        generation = table.generation
+        with self._lock:
+            entry = self._indexes.get(key)
+            if entry is not None and entry[0] == generation:
+                global_metrics().counter("obda.planner.index_hits").inc()
+                return entry[1]
+        rows = list(table.rows)
+        index: Dict[Tuple[str, ...], List[Row]] = {}
+        for row in rows:
+            if budget is not None:
+                budget.tick()
+            index.setdefault(join_key(row[i] for i in key[1]), []).append(row)
+        global_metrics().counter("obda.planner.index_builds").inc()
+        with self._lock:
+            if table.generation == generation:
+                self._indexes.setdefault(key, (generation, index))
+                return self._indexes[key][1]
+        return index

@@ -54,6 +54,7 @@ from ..errors import InconsistentOntology, ReproError
 from ..obs.trace import current_tracer
 from ..runtime.budget import Budget
 from ..runtime.execution import ExecutionContext
+from .constraints import ExtensionalConstraints, prune_ucq_with_constraints
 from .evaluation import (
     ABoxExtents,
     DatalogExtents,
@@ -68,6 +69,7 @@ from .rewriting.perfectref import perfect_ref
 from .rewriting.presto import presto_rewrite
 from .rewriting.unfolding import unfold
 from .sql.database import Database
+from .sql.stats import StatisticsCatalog
 
 __all__ = ["OBDASystem"]
 
@@ -130,6 +132,7 @@ class OBDASystem:
         enable_caches: bool = True,
         cache_size: int = 256,
         classification_cache=None,
+        use_planner: bool = True,
     ):
         if (mappings is None) != (database is None):
             raise ReproError("mappings and database must be provided together")
@@ -140,6 +143,10 @@ class OBDASystem:
         self.database = database
         self.abox = abox
         self.enable_caches = enable_caches
+        #: route the perfectref-sql path through the cost-based planner
+        #: (repro.obda.sql.planner) with extensional constraint pruning;
+        #: off = the naive unfolded execution, kept as the oracle baseline
+        self.use_planner = use_planner
         #: guards the system's own mutable state (classification slot,
         #: generation snapshot, consistency verdicts, pruning counters,
         #: shared-extent construction).  Never held while classifying,
@@ -176,6 +183,16 @@ class OBDASystem:
             self._consistency_cache = None
         #: cumulative subsumption-pruning counters (see repro.perf.prune)
         self.pruning_stats: Dict[str, int] = {"before": 0, "after": 0, "rewrites": 0}
+        #: cumulative planner counters (planned queries, constraint-pruned
+        #: disjuncts); the plan of the most recent planned query is kept
+        #: for `repro explain` / last_plan_report()
+        self.planner_stats: Dict[str, int] = {
+            "planned_queries": 0,
+            "pruned_disjuncts": 0,
+        }
+        self._statistics_catalog: Optional[StatisticsCatalog] = None
+        self._constraints: Optional[ExtensionalConstraints] = None
+        self._last_plan = None
 
     # -- shared infrastructure ---------------------------------------------------
 
@@ -233,10 +250,48 @@ class OBDASystem:
             "answers": self._answer_cache.stats.to_dict(),
         }
         stats["pruning"] = dict(self.pruning_stats)
+        with self._lock:
+            stats["planner"] = dict(self.planner_stats)
         provider = self._shared_extents
         if isinstance(provider, MappingExtents):
             stats["extents"] = {"source_pulls": provider.pulls}
         return stats
+
+    def statistics_catalog(self) -> Optional[StatisticsCatalog]:
+        """The shared per-table statistics/index catalog (OBDA mode only)."""
+        if self.database is None:
+            return None
+        with self._lock:
+            if self._statistics_catalog is None:
+                self._statistics_catalog = StatisticsCatalog(self.database)
+            return self._statistics_catalog
+
+    def _planner_constraints(self) -> Optional[ExtensionalConstraints]:
+        if self.mappings is None:
+            return None
+        with self._lock:
+            if self._constraints is None:
+                # Bound to a raw provider of the mapped extents (for
+                # generation tracking); per-query pulls go through the
+                # context-wrapped view passed to relevant_inclusions.
+                self._constraints = ExtensionalConstraints(
+                    MappingExtents(self.mappings, self.database)
+                )
+            return self._constraints
+
+    def last_plan_report(self) -> Optional[Dict[str, object]]:
+        """The plan (estimated vs actual cardinalities) of the most recent
+        planner-executed query, or None if no planned query ran yet."""
+        with self._lock:
+            entry = self._last_plan
+        if entry is None:
+            return None
+        planned, observed, label, pruning = entry
+        report = planned.report(observed)
+        report["query"] = label
+        report["constraint_pruning"] = pruning
+        report["text"] = planned.render(observed)
+        return report
 
     @property
     def classification(self) -> Classification:
@@ -468,6 +523,13 @@ class OBDASystem:
             if self.mappings is None:
                 raise ReproError("perfectref-sql requires mappings and a database")
             rewritten = self.rewrite(ucq, budget=context.scoped(f"rewrite:{label}"))
+            if self.use_planner:
+                answers = self._planned_sql_answers(
+                    rewritten, label, context, tracer, answer_key
+                )
+                if answer_key is not None:
+                    self._answer_cache.put(answer_key, frozenset(answers))
+                return answers
             with tracer.span("unfold") as span:
                 unfolded = None
                 if self.enable_caches:
@@ -514,6 +576,81 @@ class OBDASystem:
                 span.set("answers", len(answers))
         if answer_key is not None:
             self._answer_cache.put(answer_key, frozenset(answers))
+        return answers
+
+    def _planned_sql_answers(
+        self, rewritten, label, context, tracer, answer_key
+    ) -> Set[Tuple]:
+        """The cost-based SQL path: constraint-prune → unfold → plan → run.
+
+        The constraint pruning is *data-dependent* (inclusions hold at a
+        database generation), so the unfolding cache keys on the
+        discovered inclusion fingerprint alongside the canonical query —
+        a data change that flips an inclusion simply keys a fresh entry.
+        """
+        from .sql.planner import PlannedQuery
+
+        constraints = self._planner_constraints()
+        with tracer.span("constraint-prune") as span:
+            budget = context.scoped(f"constraint-prune:{label}")
+            inclusions = constraints.relevant_inclusions(
+                rewritten,
+                budget=budget,
+                extents=context.wrap_extents(constraints.extents),
+            )
+            pruned = prune_ucq_with_constraints(rewritten, inclusions, budget=budget)
+            span.annotate(
+                inclusions=len(inclusions),
+                disjuncts_before=pruned.before,
+                disjuncts_after=pruned.after,
+            )
+        fingerprint = ExtensionalConstraints.fingerprint(inclusions)
+        unfold_key = (
+            (answer_key[0], fingerprint) if answer_key is not None else None
+        )
+        with tracer.span("unfold") as span:
+            unfolded = (
+                self._unfolding_cache.get(unfold_key)
+                if unfold_key is not None
+                else None
+            )
+            if unfolded is None:
+                span.set("cache", "miss" if unfold_key is not None else "off")
+                unfolded = unfold(
+                    pruned.ucq,
+                    self.mappings,
+                    budget=context.scoped(f"unfold:{label}"),
+                )
+                if unfold_key is not None:
+                    self._unfolding_cache.put(unfold_key, unfolded)
+            else:
+                span.set("cache", "hit")
+            span.set("sql_parts", unfolded.size)
+        catalog = self.statistics_catalog()
+        with tracer.span("plan") as span:
+            planned = PlannedQuery.from_unfolded(
+                unfolded,
+                catalog,
+                budget=context.scoped(f"plan:{label}"),
+                database=context.wrap_database(self.database),
+            )
+            span.annotate(
+                parts=planned.size,
+                estimated_rows=round(planned.estimated_rows, 1),
+            )
+        observed: Dict[int, int] = {}
+        with tracer.span("sql-eval") as span:
+            span.set("planned", True)
+            answers = planned.execute(
+                context.wrap_database(self.database),
+                budget=context.scoped(f"sql:{label}"),
+                observed=observed,
+            )
+            span.set("answers", len(answers))
+        with self._lock:
+            self.planner_stats["planned_queries"] += 1
+            self.planner_stats["pruned_disjuncts"] += pruned.dropped
+            self._last_plan = (planned, observed, label, pruned.as_dict())
         return answers
 
     def certain_answers_eql(self, query, check_consistency: bool = True):

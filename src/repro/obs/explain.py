@@ -48,6 +48,9 @@ class ExplainReport:
     tracer: Tracer = field(default_factory=Tracer)
     metrics: Dict[str, Any] = field(default_factory=dict)
     fallback: Optional[Dict[str, Any]] = None
+    #: the cost-based plan (estimated vs actual per operator) when the
+    #: planned perfectref-sql path ran; see OBDASystem.last_plan_report
+    plan: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -70,6 +73,7 @@ def run_explain(
     fallback: bool = False,
     max_individuals: int = 40,
     max_assertions: int = 200,
+    use_planner: bool = True,
 ) -> ExplainReport:
     """Run one query over *tbox* with tracing on; never raises pipeline errors.
 
@@ -93,6 +97,7 @@ def run_explain(
     )
     abox = random_abox(rng, tbox, profile=sizes)
     system = direct_mapping_system(tbox, abox)
+    system.use_planner = use_planner
     if query is None:
         ucq = _pick_query(rng, tbox)
     elif isinstance(query, str):
@@ -127,6 +132,8 @@ def run_explain(
                 answers = system.certain_answers(ucq, method=method, budget=budget)
                 report.answers = len(answers)
                 root.set("answers", len(answers))
+                if method == "perfectref-sql":
+                    report.plan = system.last_plan_report()
             except TimeoutExceeded as error:
                 report.status, report.detail = "timeout", str(error)
                 root.set_status("timeout", str(error))
@@ -150,6 +157,16 @@ def render_explain(report: ExplainReport, metrics: bool = True) -> str:
         "",
         render_span_tree(report.tracer),
     ]
+    if report.plan is not None:
+        pruning = report.plan.get("constraint_pruning") or {}
+        lines.append("")
+        lines.append(
+            "plan (est/actual rows per operator; constraint pruning "
+            f"{pruning.get('before', '?')} -> {pruning.get('after', '?')} "
+            "disjuncts):"
+        )
+        for text_line in str(report.plan.get("text", "")).splitlines():
+            lines.append(f"  {text_line}")
     if report.fallback is not None:
         lines.append("")
         lines.append(
@@ -191,6 +208,7 @@ def explain_records(report: ExplainReport) -> List[Dict[str, Any]]:
             "detail": report.detail,
             "answers": report.answers,
             "fallback": report.fallback,
+            "plan": report.plan,
             "spans": len(report.tracer.spans),
         }
     ]

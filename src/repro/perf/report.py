@@ -51,6 +51,91 @@ def _build_workload(
     return system, batch[:queries]
 
 
+def _recorded_sql_ratio(bench_path: Optional[str] = None) -> Optional[float]:
+    """The planned-SQL / KB-mode mean ratio recorded in the benchmark JSON.
+
+    Reads ``BENCH_obda_pipeline.json`` at the repository root (or
+    *bench_path*), picks the largest row count for which both a
+    ``perfectref`` entry and a *planned* ``perfectref-sql`` entry exist,
+    and returns their mean-time ratio.  Returns None — and the gap check
+    is skipped — when the file is absent or unparseable, so installed
+    copies without the benchmark recording stay usable.
+    """
+    import json
+    from pathlib import Path
+
+    path = (
+        Path(bench_path)
+        if bench_path is not None
+        else Path(__file__).resolve().parents[3] / "BENCH_obda_pipeline.json"
+    )
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    means: Dict[Tuple[str, int], float] = {}
+    for entry in data.get("benchmarks", []):
+        info = entry.get("extra_info", {})
+        rows, mean = info.get("rows"), entry.get("mean_s")
+        if rows is None or mean is None:
+            continue
+        if info.get("method") == "perfectref":
+            means[("kb", rows)] = mean
+        elif info.get("method") == "perfectref-sql" and info.get("planned"):
+            means[("sql", rows)] = mean
+    shared = sorted(
+        rows
+        for kind, rows in means
+        if kind == "kb" and ("sql", rows) in means
+    )
+    if not shared:
+        return None
+    rows = shared[-1]
+    return means[("sql", rows)] / max(means[("kb", rows)], 1e-9)
+
+
+def _measure_sql_gap(
+    profile: str,
+    scale: float,
+    seed: int,
+    queries: int,
+    budget: Optional[float],
+) -> Dict[str, object]:
+    """One cold pass each of KB-mode and planned-SQL answering.
+
+    Each method gets its own freshly built system over the identical
+    seeded workload, so neither benefits from the other's caches; the
+    ratio is the live analogue of the recorded benchmark gap.
+    """
+    timings: Dict[str, float] = {}
+    answers: Dict[str, List[frozenset]] = {}
+    for method in ("perfectref", "perfectref-sql"):
+        system, batch = _build_workload(profile, scale, seed, queries)
+        started = time.perf_counter()
+        answers[method] = [
+            frozenset(
+                system.certain_answers(
+                    query,
+                    method=method,
+                    check_consistency=False,
+                    budget=budget,
+                )
+            )
+            for query in batch
+        ]
+        timings[method] = time.perf_counter() - started
+    ratio = timings["perfectref-sql"] / max(timings["perfectref"], 1e-9)
+    return {
+        "kb_s": round(timings["perfectref"], 6),
+        "planned_sql_s": round(timings["perfectref-sql"], 6),
+        "ratio": round(ratio, 2),
+        "recorded_ratio": _recorded_sql_ratio(),
+        "match": answers["perfectref"] == answers["perfectref-sql"],
+    }
+
+
 def run_perf_report(
     profile: str = "Mouse",
     scale: float = 0.25,
@@ -144,6 +229,7 @@ def run_perf_report(
         "caches": caches,
         "pruning": pruning,
         "coherent": coherent,
+        "sql_gap": _measure_sql_gap(profile, scale, seed, queries, budget),
         "per_query": per_query,
     }
 
@@ -172,6 +258,25 @@ def check_report(report: Dict[str, object]) -> List[str]:
             "perf report was measured with tracing enabled — warm-path numbers "
             "must come from the NullTracer (uninstrumented) configuration"
         )
+    gap = report.get("sql_gap") or {}
+    if gap:
+        if not gap.get("match", True):
+            failures.append(
+                "planned SQL answers diverge from KB-mode answers on the "
+                "seeded workload"
+            )
+        recorded, measured = gap.get("recorded_ratio"), gap.get("ratio")
+        if recorded is not None and measured is not None:
+            # generous live-vs-recorded slack: the recorded ratio is a
+            # single-shot 2000-row measurement, the live one a tiny seeded
+            # workload — only an order-of-magnitude regression should trip
+            allowed = max(3.0 * recorded, 10.0)
+            if measured > allowed:
+                failures.append(
+                    f"planned SQL is {measured:.1f}x slower than KB mode "
+                    f"(allowed {allowed:.1f}x from recorded ratio "
+                    f"{recorded:.2f}x) — the planner has regressed"
+                )
     return failures
 
 
@@ -202,6 +307,20 @@ def format_report(report: Dict[str, object]) -> str:
             f"  pruning: {pruning.get('before', 0)} -> {pruning.get('after', 0)} "
             f"disjuncts over {pruning.get('rewrites', 0)} rewrite(s) "
             f"({pruning.get('queries_reduced', 0)} quer(ies) reduced)"
+        )
+    gap = report.get("sql_gap") or {}
+    if gap:
+        recorded = gap.get("recorded_ratio")
+        recorded_text = (
+            f" (recorded benchmark ratio {recorded:.2f}x)"
+            if recorded is not None
+            else " (no recorded benchmark ratio)"
+        )
+        lines.append(
+            f"  sql gap: planned SQL {gap['planned_sql_s'] * 1000:.1f}ms vs "
+            f"KB {gap['kb_s'] * 1000:.1f}ms = {gap['ratio']}x"
+            + recorded_text
+            + ("" if gap.get("match", True) else " — ANSWERS DIVERGE")
         )
     lines.append(
         "  coherent: warm answers identical to cold answers"

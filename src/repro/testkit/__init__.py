@@ -48,6 +48,7 @@ from .oracle import (
     diff_answers,
     diff_classifications,
     diff_engines,
+    diff_planner,
     semantics_soundness,
 )
 from .shrink import shrink_axioms, shrink_tbox, write_reproducer
@@ -68,6 +69,7 @@ __all__ = [
     "diff_answers",
     "diff_classifications",
     "diff_engines",
+    "diff_planner",
     "direct_mapping_system",
     "random_abox",
     "random_profile_tbox",

@@ -41,6 +41,7 @@ from .oracle import (
     Disagreement,
     diff_answers,
     diff_engines,
+    diff_planner,
     semantics_soundness,
 )
 from .shrink import shrink_tbox, write_reproducer
@@ -61,6 +62,11 @@ class ConformanceConfig:
     semantics_every: int = 2
     #: run the end-to-end OBDA answer diff every Nth round (0 = never)
     obda_every: int = 2
+    #: run the planner-vs-naive SQL oracle every Nth round (0 = never)
+    planner_every: int = 2
+    #: "all" runs the full battery; "planner" runs only the planner
+    #: oracle, every round (the CI planner-smoke job)
+    mode: str = "all"
     #: where minimized reproducers are written (None = don't write)
     regression_dir: Optional[str] = None
     #: shrink disagreements before reporting (slower, far better reports)
@@ -163,6 +169,11 @@ def _run_round(
     round_index: int,
     budget: Budget,
 ) -> None:
+    if config.mode == "planner":
+        # Planner-only campaign: every round is one planner-oracle check.
+        _run_planner_check(report, config, rng, round_index, budget)
+        return
+
     tbox = random_profile_tbox(rng, config.profile)
 
     # 1. differential: every engine against the complete reference
@@ -270,3 +281,37 @@ def _run_round(
                 _shrink_and_record(
                     report, config, small, problems, recheck, round_index, budget
                 )
+
+    # 5. planner oracle: planned perfectref-sql vs the naive evaluator
+    if config.planner_every and round_index % config.planner_every == 0:
+        _run_planner_check(report, config, rng, round_index, budget)
+
+
+def _run_planner_check(
+    report: ConformanceReport,
+    config: ConformanceConfig,
+    rng: random.Random,
+    round_index: int,
+    budget: Budget,
+) -> None:
+    """One planner-oracle check: planned SQL vs naive algebra evaluation."""
+    small = random_tiny_tbox(rng, config.profile)
+    abox = random_abox(rng, small, config.profile)
+    queries = random_queries(rng, small, config.profile)
+    if not queries:
+        return
+    problems = diff_planner(small, abox, queries, budget=budget)
+    report.checks_run += 1
+    if problems:
+        # Like answer diffs, planner diffs shrink over the TBox with the
+        # data and queries held fixed — the divergence reproduces as long
+        # as the offending unfolding survives the shrink.
+        _shrink_and_record(
+            report,
+            config,
+            small,
+            problems,
+            lambda t: diff_planner(t, abox, queries, budget=budget),
+            round_index,
+            budget,
+        )

@@ -42,6 +42,7 @@ __all__ = [
     "diff_answers",
     "diff_classifications",
     "diff_engines",
+    "diff_planner",
     "semantics_soundness",
 ]
 
@@ -62,7 +63,7 @@ class Disagreement:
     """One observed divergence between two components of the stack."""
 
     #: "classification" | "unsat" | "semantics" | "answers" | "consistency"
-    #: | "error" | "metamorphic:<invariant>"
+    #: | "error" | "planner" | "metamorphic:<invariant>"
     kind: str
     #: The two sides that disagree (engine or method names).
     left: str
@@ -237,6 +238,79 @@ def semantics_soundness(
                     tbox.name,
                 )
             )
+    return problems
+
+
+def diff_planner(
+    tbox: TBox,
+    abox,
+    queries,
+    budget: Optional[Budget] = None,
+) -> List[Disagreement]:
+    """Diff the cost-based SQL planner against the naive algebra evaluator.
+
+    Both sides run the *same* perfectref-sql pipeline over a direct
+    mapping of *abox*; the only difference is
+    :attr:`~repro.obda.system.OBDASystem.use_planner`.  The naive
+    evaluator executes the unfolded algebra literally, so it is the
+    semantic reference here: any divergence is a planner bug — a wrong
+    pushdown, join order, semi-join, index probe, or an unsound
+    constraint prune.  An empty list means the planned path produced
+    byte-identical certain answers on every query.
+    """
+    from ..errors import MappingError
+    from .generators import direct_mapping_system
+
+    planned = direct_mapping_system(tbox, abox)
+    planned.use_planner = True
+    naive = direct_mapping_system(tbox, abox)
+    naive.use_planner = False
+    problems: List[Disagreement] = []
+    for query in queries:
+        outcomes = {}
+        for label, system in (("planned", planned), ("naive", naive)):
+            try:
+                outcomes[label] = (
+                    "answers",
+                    frozenset(
+                        system.certain_answers(
+                            query, method="perfectref-sql", budget=budget
+                        )
+                    ),
+                )
+            except InconsistentOntology:
+                outcomes[label] = ("inconsistent", frozenset())
+            except MappingError as error:
+                outcomes[label] = (f"mapping-error:{error}", frozenset())
+        if outcomes["planned"] == outcomes["naive"]:
+            continue
+        (p_status, p_answers), (n_status, n_answers) = (
+            outcomes["planned"],
+            outcomes["naive"],
+        )
+        if p_status != n_status:
+            detail = (
+                f"on {query.name}: planned says {p_status}, "
+                f"naive says {n_status}"
+            )
+        else:
+            parts = []
+            gained = p_answers - n_answers
+            lost = n_answers - p_answers
+            if gained:
+                parts.append(f"extra answers {_sample(gained)}")
+            if lost:
+                parts.append(f"missing answers {_sample(lost)}")
+            detail = f"on {query.name}: " + "; ".join(parts)
+        problems.append(
+            Disagreement(
+                "planner",
+                "planned/perfectref-sql",
+                "naive/perfectref-sql",
+                detail,
+                tbox.name,
+            )
+        )
     return problems
 
 
