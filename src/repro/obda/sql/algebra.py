@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from ...errors import MappingError
 from ...runtime.budget import Budget
 from .database import Database
+from .stats import JoinIndex
 
 __all__ = [
     "ResultSet",
@@ -195,13 +196,6 @@ def evaluate(
     raise TypeError(f"not an algebra expression: {expression!r}")
 
 
-def _join_hash_key(values) -> Tuple[str, ...]:
-    """String-normalized hash key so bucketing agrees with ``equal()``."""
-    return tuple(
-        value if isinstance(value, str) else str(value) for value in values
-    )
-
-
 def _evaluate_join(
     join: Join,
     conditions: Sequence[Condition],
@@ -216,10 +210,11 @@ def _evaluate_join(
     conditions are classified instead: equalities spanning the two sides
     become hash-join keys, side-local conditions filter their input
     before the join, and everything else (e.g. ``!=`` across the sides)
-    runs as a residual filter over the joined rows.  Hash keys are
-    string-normalized to match ``equal()``'s fallback (including the
-    ``on`` pairs, so join and selection equality agree), and the output
-    columns/rows are exactly those of the filtered cross product.
+    runs as a residual filter over the joined rows.  Bucketing goes
+    through :class:`~repro.obda.sql.stats.JoinIndex`, whose multi-key
+    scheme matches ``equal()`` exactly (including the ``on`` pairs, so
+    join and selection equality agree), and the output columns/rows are
+    exactly those of the filtered cross product.
     """
     left = evaluate(join.left, database, budget)
     right = evaluate(join.right, database, budget)
@@ -261,20 +256,17 @@ def _evaluate_join(
         right = ResultSet(
             right.columns, [row for row in right.rows if predicate(row)]
         )
-    index: Dict[Tuple, List[Tuple]] = {}
+    index = JoinIndex()
     for row in right.rows:
         if budget is not None:
             budget.tick()
-        index.setdefault(
-            _join_hash_key(row[i] for i in right_keys), []
-        ).append(row)
+        index.add([row[i] for i in right_keys], row)
     residual_predicate = (
         _compile_conditions(residual, combined) if residual else None
     )
     rows = []
     for row in left.rows:
-        key = _join_hash_key(row[i] for i in left_keys)
-        for match in index.get(key, ()):
+        for match in index.probe([row[i] for i in left_keys]):
             if budget is not None:
                 budget.tick()
             joined = row + match

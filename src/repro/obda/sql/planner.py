@@ -61,7 +61,7 @@ from .algebra import (
     evaluate,
 )
 from .database import Database
-from .stats import StatisticsCatalog, join_key
+from .stats import JoinIndex, StatisticsCatalog
 
 __all__ = [
     "PlanNode",
@@ -338,24 +338,21 @@ class HashJoinNode(PlanNode):
             right_positions = [
                 right.column_index(column) for column in self.right_keys
             ]
-            index = {}
+            index = JoinIndex()
             for row in right.rows:
                 if budget is not None:
                     budget.tick()
-                index.setdefault(
-                    join_key(row[i] for i in right_positions), []
-                ).append(row)
+                index.add([row[i] for i in right_positions], row)
         rows = []
         if self.semi:
             for row in left.rows:
                 if budget is not None:
                     budget.tick()
-                if join_key(row[i] for i in left_positions) in index:
+                if index.contains([row[i] for i in left_positions]):
                     rows.append(row)
             return ResultSet(self.columns, rows)
         for row in left.rows:
-            key = join_key(row[i] for i in left_positions)
-            for match in index.get(key, ()):
+            for match in index.probe([row[i] for i in left_positions]):
                 if budget is not None:
                     budget.tick()
                 rows.append(row + match)

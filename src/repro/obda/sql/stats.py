@@ -10,10 +10,15 @@ access — the same invalidation discipline the extent/index caches of
 :mod:`repro.obda.evaluation` already use, so statistics can never be
 served for data that has since changed shape.
 
-Join keys are normalized with :func:`join_key`: the algebra evaluator's
-equality has a string fallback (an IRI template round-trips ``"1"``
-against the integer cell ``1``), so hash buckets key on ``str(value)``
-— two values the filter would call equal always land in one bucket.
+Hash buckets must agree with the algebra evaluator's equality
+(``a == b or str(a) == str(b)`` — an IRI template round-trips ``"1"``
+against the integer cell ``1``).  That predicate is *not transitive*
+(``"1" ~ 1 ~ 1.0`` yet ``"1" !~ 1.0``), so no single key function can
+bucket it exactly; :class:`JoinIndex` therefore files every row under
+each key of :func:`join_keys` — its string form plus, for finite
+numerics, a canonical numeric key — and probes all of the probe value's
+keys, so two values match the index iff the filter would call them
+equal (over the supported cell domain: str, bool, int, float).
 
 Concurrency follows the copy-on-write idiom of
 :meth:`repro.obda.evaluation.ExtentProvider.index`: bookkeeping happens
@@ -24,23 +29,124 @@ is still current.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ...obs.metrics import global_metrics
 from ...runtime.budget import Budget
 from .database import Database
 from .table import Row
 
-__all__ = ["ColumnStatistics", "TableStatistics", "StatisticsCatalog", "join_key"]
+__all__ = [
+    "ColumnStatistics",
+    "TableStatistics",
+    "StatisticsCatalog",
+    "JoinIndex",
+    "join_key",
+    "join_keys",
+]
 
 
 def join_key(values) -> Tuple[str, ...]:
-    """Hash key for equi-join/bucket values, matching ``equal()``'s fallback."""
+    """The primary (string-form) hash key for equi-join/bucket values."""
     return tuple(
         value if isinstance(value, str) else str(value) for value in values
     )
+
+
+def _value_keys(value) -> Tuple:
+    """Every bucket key *value* answers to.
+
+    Always the string form; finite numerics additionally key on their
+    canonical numeric class (``int`` when integral), because ``1``,
+    ``1.0`` and ``True`` are ``==`` — hence equal to the filter — while
+    their ``str()`` forms differ.  Non-finite floats need no numeric
+    key: ``inf == inf`` coincides with string equality and ``nan``
+    values only ever match through their shared ``"nan"`` string form.
+    A string key can never collide with a numeric key (``str`` never
+    ``==`` ``int``/``float`` in Python), so the two namespaces are
+    disjoint without tagging.
+    """
+    if isinstance(value, str):
+        return (value,)
+    text = str(value)
+    if isinstance(value, bool) or isinstance(value, int):
+        return (text, int(value))
+    if isinstance(value, float) and math.isfinite(value):
+        return (text, int(value) if value.is_integer() else value)
+    return (text,)
+
+
+def join_keys(values) -> List[Tuple]:
+    """All composite bucket keys for a row's join values.
+
+    The cross product of the per-value alternatives from
+    :func:`_value_keys`; :func:`join_key` (the all-string form) is
+    always among them.  Two value tuples share a composite key iff the
+    evaluator's ``equal()`` accepts every aligned pair — the invariant
+    :class:`JoinIndex` builds on (pinned by the key/equal agreement
+    test in tests/test_planner.py).
+    """
+    keys: List[Tuple] = [()]
+    for value in values:
+        alternatives = _value_keys(value)
+        if len(alternatives) == 1:
+            alternative = alternatives[0]
+            keys = [key + (alternative,) for key in keys]
+        else:
+            keys = [key + (alt,) for key in keys for alt in alternatives]
+    return keys
+
+
+class JoinIndex:
+    """Rows bucketed for equi-join probes, faithful to ``equal()``.
+
+    Each added row occurrence is filed under every composite key of its
+    join values; :meth:`probe` unions the buckets of every key of the
+    probe values, deduplicating by occurrence and restoring insertion
+    order, so the matches are exactly the rows a cross-product filter
+    with ``equal()`` would keep — including mixed-type pairs like
+    ``1``/``1.0`` (``==``, different strings) and ``1``/``"1"`` (equal
+    by string form only).
+    """
+
+    __slots__ = ("_buckets", "_size")
+
+    def __init__(self):
+        self._buckets: Dict[Tuple, List[Tuple[int, Row]]] = {}
+        self._size = 0
+
+    def add(self, values, row: Row) -> None:
+        entry = (self._size, row)
+        self._size += 1
+        for key in join_keys(values):
+            self._buckets.setdefault(key, []).append(entry)
+
+    def probe(self, values) -> List[Row]:
+        """All rows whose join values ``equal()`` *values* pairwise."""
+        keys = join_keys(values)
+        if len(keys) == 1:  # all-string probe (the common case): one bucket
+            bucket = self._buckets.get(keys[0])
+            return [row for _, row in bucket] if bucket else []
+        entries: List[Tuple[int, Row]] = []
+        seen: Set[int] = set()
+        for key in keys:
+            for entry in self._buckets.get(key, ()):
+                if entry[0] not in seen:
+                    seen.add(entry[0])
+                    entries.append(entry)
+        entries.sort(key=lambda entry: entry[0])
+        return [row for _, row in entries]
+
+    def contains(self, values) -> bool:
+        """True iff :meth:`probe` would return at least one row."""
+        buckets = self._buckets
+        return any(key in buckets for key in join_keys(values))
+
+    def __len__(self) -> int:
+        return self._size
 
 
 @dataclass(frozen=True)
@@ -98,7 +204,7 @@ class StatisticsCatalog:
         self._lock = threading.Lock()
         self._stats: Dict[str, Tuple[int, TableStatistics]] = {}
         self._indexes: Dict[
-            Tuple[str, Tuple[int, ...]], Tuple[int, Dict[Tuple[str, ...], List[Row]]]
+            Tuple[str, Tuple[int, ...]], Tuple[int, JoinIndex]
         ] = {}
 
     def invalidate(self) -> None:
@@ -152,10 +258,10 @@ class StatisticsCatalog:
         table_name: str,
         positions: Tuple[int, ...],
         budget: Optional[Budget] = None,
-    ) -> Dict[Tuple[str, ...], List[Row]]:
-        """Rows of *table_name* bucketed by the (stringified) values at
-        *positions*; built lazily, shared across queries, rebuilt when the
-        table's generation moves."""
+    ) -> JoinIndex:
+        """A :class:`JoinIndex` of *table_name*'s rows on the values at
+        *positions*; built lazily, shared across queries, rebuilt when
+        the table's generation moves."""
         key = (table_name, tuple(positions))
         table = self.database.table(table_name)
         generation = table.generation
@@ -165,14 +271,16 @@ class StatisticsCatalog:
                 global_metrics().counter("obda.planner.index_hits").inc()
                 return entry[1]
         rows = list(table.rows)
-        index: Dict[Tuple[str, ...], List[Row]] = {}
+        index = JoinIndex()
         for row in rows:
             if budget is not None:
                 budget.tick()
-            index.setdefault(join_key(row[i] for i in key[1]), []).append(row)
+            index.add([row[i] for i in key[1]], row)
         global_metrics().counter("obda.planner.index_builds").inc()
         with self._lock:
+            # Install only if no insert landed while we were scanning;
+            # assignment (not setdefault) so a stale-generation entry is
+            # actually replaced, matching statistics() above.
             if table.generation == generation:
-                self._indexes.setdefault(key, (generation, index))
-                return self._indexes[key][1]
+                self._indexes[key] = (generation, index)
         return index

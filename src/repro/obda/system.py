@@ -189,6 +189,7 @@ class OBDASystem:
         self.planner_stats: Dict[str, int] = {
             "planned_queries": 0,
             "pruned_disjuncts": 0,
+            "prune_retries": 0,
         }
         self._statistics_catalog: Optional[StatisticsCatalog] = None
         self._constraints: Optional[ExtensionalConstraints] = None
@@ -587,69 +588,92 @@ class OBDASystem:
         database generation), so the unfolding cache keys on the
         discovered inclusion fingerprint alongside the canonical query —
         a data change that flips an inclusion simply keys a fresh entry.
+        Because the pruned plan executes after the inclusions were
+        verified, a concurrent insert in between could invalidate an
+        inclusion whose subsumed disjunct was already dropped; the loop
+        below snapshots the provider generation before pruning,
+        re-checks it after execution, and replans when it moved — the
+        final attempt runs unpruned, which is sound at any generation.
         """
         from .sql.planner import PlannedQuery
 
         constraints = self._planner_constraints()
-        with tracer.span("constraint-prune") as span:
-            budget = context.scoped(f"constraint-prune:{label}")
-            inclusions = constraints.relevant_inclusions(
-                rewritten,
-                budget=budget,
-                extents=context.wrap_extents(constraints.extents),
-            )
-            pruned = prune_ucq_with_constraints(rewritten, inclusions, budget=budget)
-            span.annotate(
-                inclusions=len(inclusions),
-                disjuncts_before=pruned.before,
-                disjuncts_after=pruned.after,
-            )
-        fingerprint = ExtensionalConstraints.fingerprint(inclusions)
-        unfold_key = (
-            (answer_key[0], fingerprint) if answer_key is not None else None
-        )
-        with tracer.span("unfold") as span:
-            unfolded = (
-                self._unfolding_cache.get(unfold_key)
-                if unfold_key is not None
-                else None
-            )
-            if unfolded is None:
-                span.set("cache", "miss" if unfold_key is not None else "off")
-                unfolded = unfold(
-                    pruned.ucq,
-                    self.mappings,
-                    budget=context.scoped(f"unfold:{label}"),
-                )
-                if unfold_key is not None:
-                    self._unfolding_cache.put(unfold_key, unfolded)
-            else:
-                span.set("cache", "hit")
-            span.set("sql_parts", unfolded.size)
         catalog = self.statistics_catalog()
-        with tracer.span("plan") as span:
-            planned = PlannedQuery.from_unfolded(
-                unfolded,
-                catalog,
-                budget=context.scoped(f"plan:{label}"),
-                database=context.wrap_database(self.database),
+        retries = 0
+        for attempt in range(3):
+            prune_generation = constraints.generation()
+            with tracer.span("constraint-prune") as span:
+                budget = context.scoped(f"constraint-prune:{label}")
+                if attempt < 2:
+                    inclusions = constraints.relevant_inclusions(
+                        rewritten,
+                        budget=budget,
+                        extents=context.wrap_extents(constraints.extents),
+                    )
+                else:  # last attempt: give up on pruning under churn
+                    inclusions = frozenset()
+                pruned = prune_ucq_with_constraints(
+                    rewritten, inclusions, budget=budget
+                )
+                span.annotate(
+                    inclusions=len(inclusions),
+                    disjuncts_before=pruned.before,
+                    disjuncts_after=pruned.after,
+                    attempt=attempt,
+                )
+            fingerprint = ExtensionalConstraints.fingerprint(inclusions)
+            unfold_key = (
+                (answer_key[0], fingerprint) if answer_key is not None else None
             )
-            span.annotate(
-                parts=planned.size,
-                estimated_rows=round(planned.estimated_rows, 1),
-            )
-        observed: Dict[int, int] = {}
-        with tracer.span("sql-eval") as span:
-            span.set("planned", True)
-            answers = planned.execute(
-                context.wrap_database(self.database),
-                budget=context.scoped(f"sql:{label}"),
-                observed=observed,
-            )
-            span.set("answers", len(answers))
+            with tracer.span("unfold") as span:
+                unfolded = (
+                    self._unfolding_cache.get(unfold_key)
+                    if unfold_key is not None
+                    else None
+                )
+                if unfolded is None:
+                    span.set("cache", "miss" if unfold_key is not None else "off")
+                    unfolded = unfold(
+                        pruned.ucq,
+                        self.mappings,
+                        budget=context.scoped(f"unfold:{label}"),
+                    )
+                    if unfold_key is not None:
+                        self._unfolding_cache.put(unfold_key, unfolded)
+                else:
+                    span.set("cache", "hit")
+                span.set("sql_parts", unfolded.size)
+            with tracer.span("plan") as span:
+                planned = PlannedQuery.from_unfolded(
+                    unfolded,
+                    catalog,
+                    budget=context.scoped(f"plan:{label}"),
+                    database=context.wrap_database(self.database),
+                )
+                span.annotate(
+                    parts=planned.size,
+                    estimated_rows=round(planned.estimated_rows, 1),
+                )
+            observed: Dict[int, int] = {}
+            with tracer.span("sql-eval") as span:
+                span.set("planned", True)
+                answers = planned.execute(
+                    context.wrap_database(self.database),
+                    budget=context.scoped(f"sql:{label}"),
+                    observed=observed,
+                )
+                span.set("answers", len(answers))
+            if (
+                not inclusions  # without inclusions pruning is data-independent
+                or not pruned.dropped
+                or constraints.generation() == prune_generation
+            ):
+                break
+            retries += 1
         with self._lock:
             self.planner_stats["planned_queries"] += 1
             self.planner_stats["pruned_disjuncts"] += pruned.dropped
+            self.planner_stats["prune_retries"] += retries
             self._last_plan = (planned, observed, label, pruned.as_dict())
         return answers
 

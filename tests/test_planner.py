@@ -35,7 +35,13 @@ from repro.obda.sql.planner import (
     ProjectNode,
     TableScanNode,
 )
-from repro.obda.sql.stats import StatisticsCatalog, TableStatistics, join_key
+from repro.obda.sql.stats import (
+    JoinIndex,
+    StatisticsCatalog,
+    TableStatistics,
+    join_key,
+    join_keys,
+)
 from repro.testkit.generators import direct_mapping_system
 
 
@@ -258,6 +264,84 @@ def test_join_key_string_normalizes():
     assert join_key(("1", "a")) == ("1", "a")
 
 
+def test_join_keys_add_numeric_class_alongside_string_form():
+    keys = join_keys((1, "a"))
+    assert ("1", "a") in keys and (1, "a") in keys
+    assert join_keys(("x",)) == [("x",)]  # strings: single key, no expansion
+    # 1, 1.0 and True are == with different str() forms: one shared key
+    assert set(join_keys((1,))) & set(join_keys((1.0,)))
+    assert set(join_keys((True,))) & set(join_keys((1,)))
+    # but "1" matches 1 (string form) and not 1.0, exactly like equal()
+    assert set(join_keys(("1",))) & set(join_keys((1,)))
+    assert not set(join_keys(("1",))) & set(join_keys((1.0,)))
+
+
+def test_join_keys_agree_with_equal_on_mixed_pool():
+    # The bucketing invariant JoinIndex relies on: two values share a
+    # bucket key iff the evaluator's equal() accepts the pair.
+    def equal(a, b):
+        return a == b or str(a) == str(b)
+
+    pool = [
+        "1", "1.0", "a", "True", "nan", "inf", "2", "0",
+        1, 1.0, 2, 2.5, -1, -1.0, 0, True, False,
+        float("nan"), float("inf"), 10**20, 1e20,
+    ]
+    for a in pool:
+        for b in pool:
+            share = bool(set(join_keys((a,))) & set(join_keys((b,))))
+            assert share == equal(a, b), (a, b)
+
+
+def test_join_index_probe_dedups_and_keeps_build_order():
+    index = JoinIndex()
+    for row in [(1.0, "x"), ("1", "y"), (1, "z"), (2, "w")]:
+        index.add([row[0]], row)
+    # probe value 1 matches all three 1-ish rows exactly once each, in
+    # build order, even though 1's two keys both hit the (1,)-row
+    assert index.probe([1]) == [(1.0, "x"), ("1", "y"), (1, "z")]
+    assert index.probe([True]) == [(1.0, "x"), (1, "z")]
+    assert index.probe(["1"]) == [("1", "y"), (1, "z")]
+    assert index.probe([3]) == []
+    assert index.contains([2]) and not index.contains([3])
+
+
+def test_shared_index_rebuilt_after_insert(db):
+    catalog = StatisticsCatalog(db)
+    index = catalog.index("emp", (1,))
+    assert index.probe(["d"]) == []
+    db.table("emp").insert((5, "d"))
+    # a stale-generation entry must be *replaced*, not kept via setdefault
+    assert catalog.index("emp", (1,)).probe(["d"]) == [(5, "d")]
+    assert catalog.index("emp", (1,)).probe(["d"]) == [(5, "d")]
+
+
+def test_mixed_type_joins_match_filter_semantics_naive_and_planned():
+    # equal() is `a == b or str(a) == str(b)`; the hash paths must match
+    # it bucket-for-bucket, including pairs equal under == only (1 vs
+    # 1.0, True vs 1) and pairs equal by string form only (1 vs "1").
+    database = Database("mixed")
+    database.create_table("l", ["k"], [(1,), (2,), ("3",), (True,)])
+    database.create_table("r", ["k"], [(1.0,), ("1",), (1,), (3,), (False,)])
+    expr = Selection(
+        Join(Scan("l"), Scan("r"), on=()),
+        (Condition("l.k", "r.k", "="),),
+    )
+    expected = sorted(
+        [
+            ("1", "1.0"), ("1", "'1'"), ("1", "1"),
+            ("'3'", "3"),
+            ("True", "1.0"), ("True", "1"),
+        ]
+    )
+    naive = evaluate(expr, database)
+    assert sorted(tuple(map(repr, row)) for row in naive.rows) == expected
+    planner = Planner(StatisticsCatalog(database))
+    plan = planner.plan(expr)
+    planned = plan.execute(database, planner.catalog)
+    assert sorted(tuple(map(repr, row)) for row in planned.rows) == expected
+
+
 def test_statistics_selectivity_bounds():
     stats = TableStatistics("t", 0, ())
     assert stats.selectivity("x") == 0.0
@@ -387,6 +471,55 @@ def test_explain_carries_plan():
     assert "plan (est/actual rows per operator" in rendered
     header = explain_records(report)[0]
     assert header["plan"] is not None
+
+
+def test_planned_path_sees_inserts_through_shared_index():
+    # The reviewer's reproduction: answer, insert, answer again — the
+    # second planned execution must probe a rebuilt shared index, not a
+    # stale pre-mutation one.
+    tbox, abox = make_system()
+    system = direct_mapping_system(tbox, abox)
+    query = parse_query("q(x, y) :- Teacher(x), teaches(x, y)")
+    first = system.certain_answers(query, method="perfectref-sql")
+    assert first == {
+        (Individual(f"p{i}"), Individual(f"c{i}")) for i in range(3)
+    }
+    system.database.table("t_Professor").insert(("p9",))
+    system.database.table("t_teaches").insert(("p9", "c9"))
+    second = system.certain_answers(query, method="perfectref-sql")
+    assert second == first | {(Individual("p9"), Individual("c9"))}
+    # and again, to pin that the rebuilt index was actually installed
+    assert system.certain_answers(query, method="perfectref-sql") == second
+
+
+def test_constraint_prune_revalidated_under_concurrent_insert(monkeypatch):
+    # An insert between inclusion discovery and plan execution can
+    # invalidate the inclusion that justified dropping a disjunct; the
+    # planned path must notice the generation moved and replan.
+    tbox = parse_tbox("Professor isa Teacher", name="prune-race")
+    abox = ABox()
+    for i in range(4):
+        abox.add(ConceptAssertion(AtomicConcept("Professor"), Individual(f"p{i}")))
+        abox.add(ConceptAssertion(AtomicConcept("Teacher"), Individual(f"p{i}")))
+    abox.add(ConceptAssertion(AtomicConcept("Teacher"), Individual("t9")))
+    system = direct_mapping_system(tbox, abox)
+    original = PlannedQuery.execute
+    fired = []
+
+    def racing_execute(self, database, budget=None, observed=None):
+        if not fired:  # first execution only: land an insert mid-query
+            fired.append(True)
+            system.database.table("t_Professor").insert(("p_new",))
+        return original(self, database, budget=budget, observed=observed)
+
+    monkeypatch.setattr(PlannedQuery, "execute", racing_execute)
+    query = parse_query("q(x) :- Teacher(x)")
+    answers = system.certain_answers(
+        query, method="perfectref-sql", check_consistency=False
+    )
+    assert (Individual("p_new"),) in answers
+    assert len(answers) == 6
+    assert system.cache_stats()["planner"]["prune_retries"] >= 1
 
 
 def test_constraint_pruning_drops_subsumed_disjunct():
