@@ -38,7 +38,13 @@ exists teaches isa Teacher
 exists teaches^- isa Course
 """
 
-METHODS = ["perfectref", "perfectref-sql", "perfectref-sql-noplan", "presto"]
+METHODS = [
+    "perfectref",
+    "perfectref-sql",
+    "perfectref-sql-noplan",
+    "perfectref-sqlite",
+    "presto",
+]
 SIZES = [200, 2000]
 
 
@@ -87,17 +93,12 @@ QUERY = "q(x) :- Teacher(x), teaches(x, y)"
 @pytest.mark.parametrize("rows", SIZES)
 @pytest.mark.parametrize("method", METHODS)
 def test_obda_answering(benchmark, rows, method):
+    from repro_bench_util import timed_certain_answers
+
     use_planner = method != "perfectref-sql-noplan"
-    real_method = "perfectref-sql" if method.startswith("perfectref-sql") else method
+    real_method = "perfectref-sql" if method == "perfectref-sql-noplan" else method
     system = university_system(rows, use_planner)
-    answers = benchmark.pedantic(
-        lambda: system.certain_answers(
-            QUERY, method=real_method, check_consistency=False
-        ),
-        rounds=1,
-        iterations=1,
-        warmup_rounds=0,
-    )
+    answers = timed_certain_answers(benchmark, system, QUERY, real_method)
     benchmark.extra_info["method"] = real_method
     benchmark.extra_info["planned"] = use_planner and real_method == "perfectref-sql"
     benchmark.extra_info["rows"] = rows

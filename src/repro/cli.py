@@ -451,6 +451,7 @@ def _cmd_conformance(args) -> int:
         semantics_every=args.semantics_every,
         obda_every=args.obda_every,
         planner_every=args.planner_every,
+        backend_every=args.backend_every,
         mode=args.mode,
         regression_dir=args.regressions,
         shrink=not args.no_shrink,
@@ -704,11 +705,19 @@ def build_parser() -> argparse.ArgumentParser:
         "round (0 = never)",
     )
     conformance.add_argument(
+        "--backend-every",
+        type=int,
+        default=2,
+        help="run the sqlite-pushdown-vs-in-memory equivalence diff every "
+        "Nth round (0 = never)",
+    )
+    conformance.add_argument(
         "--mode",
-        choices=["all", "planner"],
+        choices=["all", "planner", "backend"],
         default="all",
         help="'planner' runs only the naive-vs-planned SQL oracle every "
-        "round (the planner-smoke CI job)",
+        "round (the planner-smoke CI job); 'backend' runs only the "
+        "sqlite pushdown oracle every round (the sqlite-smoke CI job)",
     )
     conformance.add_argument(
         "--regressions",
@@ -744,7 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument(
         "--method",
-        choices=["perfectref", "perfectref-sql", "presto"],
+        choices=["perfectref", "perfectref-sql", "perfectref-sqlite", "presto"],
         default="perfectref-sql",
     )
     explain.add_argument(

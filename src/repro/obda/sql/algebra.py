@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from ...errors import MappingError
 from ...runtime.budget import Budget
 from .database import Database
-from .stats import JoinIndex
+from .stats import JoinIndex, _value_keys
 
 __all__ = [
     "ResultSet",
@@ -28,6 +28,28 @@ __all__ = [
     "Condition",
     "evaluate",
 ]
+
+
+def _distinct_key(value):
+    """The duplicate-elimination key of one projected cell.
+
+    Plain tuple equality is *too coarse* here: ``1 == 1.0 == True`` in
+    Python, yet their string forms differ, so collapsing them inside a
+    projection loses answers once an IRI template is applied downstream
+    (``person/1`` vs ``person/1.0`` are distinct individuals — KB mode
+    keeps both).  The key therefore refines both equalities at once:
+    strings key on themselves, finite numerics on (string form,
+    canonical numeric class), everything else (None, non-finite floats,
+    exotic cells) on (string form, type).  Two cells share a key only
+    if they are ``==`` *and* agree on ``str()`` — so a distinct
+    projection can never change the final answer set, only multiplicity.
+    """
+    if isinstance(value, str):
+        return value
+    keys = _value_keys(value)
+    if len(keys) == 2:
+        return keys
+    return (keys[0], value.__class__)
 
 
 class ResultSet:
@@ -51,8 +73,9 @@ class ResultSet:
         seen = set()
         rows = []
         for row in self.rows:
-            if row not in seen:
-                seen.add(row)
+            key = tuple(_distinct_key(value) for value in row)
+            if key not in seen:
+                seen.add(key)
                 rows.append(row)
         return ResultSet(self.columns, rows)
 

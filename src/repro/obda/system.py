@@ -133,11 +133,15 @@ class OBDASystem:
         cache_size: int = 256,
         classification_cache=None,
         use_planner: bool = True,
+        backend: str = "memory",
+        backend_path: Optional[str] = None,
     ):
         if (mappings is None) != (database is None):
             raise ReproError("mappings and database must be provided together")
         if (mappings is None) == (abox is None):
             raise ReproError("provide either mappings+database or an abox")
+        if backend not in ("memory", "sqlite"):
+            raise ReproError(f"unknown SQL backend {backend!r}")
         self.tbox = tbox
         self.mappings = mappings
         self.database = database
@@ -147,6 +151,13 @@ class OBDASystem:
         #: (repro.obda.sql.planner) with extensional constraint pruning;
         #: off = the naive unfolded execution, kept as the oracle baseline
         self.use_planner = use_planner
+        #: execution engine of the SQL path: "memory" interprets the
+        #: unfolded algebra in-process (planned or naive), "sqlite"
+        #: pushes each unfolded UCQ down to a real SQLite statement
+        #: (repro.obda.sql.backends); method="perfectref-sqlite" forces
+        #: the pushdown per-query regardless of this default.
+        self.backend = backend
+        self._backend_path = backend_path
         #: guards the system's own mutable state (classification slot,
         #: generation snapshot, consistency verdicts, pruning counters,
         #: shared-extent construction).  Never held while classifying,
@@ -190,10 +201,12 @@ class OBDASystem:
             "planned_queries": 0,
             "pruned_disjuncts": 0,
             "prune_retries": 0,
+            "pushdown_queries": 0,
         }
         self._statistics_catalog: Optional[StatisticsCatalog] = None
         self._constraints: Optional[ExtensionalConstraints] = None
         self._last_plan = None
+        self._sql_backend = None
 
     # -- shared infrastructure ---------------------------------------------------
 
@@ -233,6 +246,8 @@ class OBDASystem:
             self._violation_rewritings = None
             if self._shared_extents is not None:
                 self._shared_extents.invalidate()
+            if self._sql_backend is not None:
+                self._sql_backend.invalidate()
             if self.enable_caches:
                 self._rewriting_cache.invalidate()
                 self._unfolding_cache.invalidate()
@@ -256,6 +271,10 @@ class OBDASystem:
         provider = self._shared_extents
         if isinstance(provider, MappingExtents):
             stats["extents"] = {"source_pulls": provider.pulls}
+        with self._lock:
+            backend = self._sql_backend
+        if backend is not None:
+            stats["backend"] = backend.stats()
         return stats
 
     def statistics_catalog(self) -> Optional[StatisticsCatalog]:
@@ -266,6 +285,26 @@ class OBDASystem:
             if self._statistics_catalog is None:
                 self._statistics_catalog = StatisticsCatalog(self.database)
             return self._statistics_catalog
+
+    def sql_backend(self):
+        """The shared SQLite pushdown backend (OBDA mode only), created
+        lazily on first pushed-down query."""
+        if self.database is None:
+            return None
+        with self._lock:
+            if self._sql_backend is None:
+                from .sql.backends import SqliteBackend
+
+                self._sql_backend = SqliteBackend(
+                    self.database, path=self._backend_path
+                )
+            return self._sql_backend
+
+    def last_backend_report(self) -> Optional[Dict[str, object]]:
+        """Load/execute profile of the most recent pushed-down query."""
+        with self._lock:
+            backend = self._sql_backend
+        return backend.last_report() if backend is not None else None
 
     def _planner_constraints(self) -> Optional[ExtensionalConstraints]:
         if self.mappings is None:
@@ -383,7 +422,12 @@ class OBDASystem:
         Only *completed* rewritings enter the cache, so a budget abort
         never poisons it.
         """
-        if method not in ("perfectref", "perfectref-sql", "presto"):
+        if method not in (
+            "perfectref",
+            "perfectref-sql",
+            "perfectref-sqlite",
+            "presto",
+        ):
             raise ReproError(f"unknown rewriting method {method!r}")
         ucq = self._as_ucq(query)
         budget = Budget.ensure(budget, task=f"rewrite:{ucq.name or method}")
@@ -456,7 +500,12 @@ class OBDASystem:
           exhausted policy surfaces (as a typed
           :class:`~repro.errors.PermanentSourceError`).
         """
-        if method not in ("perfectref", "perfectref-sql", "presto"):
+        if method not in (
+            "perfectref",
+            "perfectref-sql",
+            "perfectref-sqlite",
+            "presto",
+        ):
             raise ReproError(f"unknown query answering method {method!r}")
         ucq = self._as_ucq(query)
         label = ucq.name or "query"
@@ -520,13 +569,19 @@ class OBDASystem:
                     budget=context.scoped(f"evaluate:{label}"),
                 )
                 span.set("answers", len(answers))
-        elif method == "perfectref-sql":
+        elif method in ("perfectref-sql", "perfectref-sqlite"):
             if self.mappings is None:
-                raise ReproError("perfectref-sql requires mappings and a database")
+                raise ReproError(f"{method} requires mappings and a database")
             rewritten = self.rewrite(ucq, budget=context.scoped(f"rewrite:{label}"))
-            if self.use_planner:
+            pushdown = method == "perfectref-sqlite" or self.backend == "sqlite"
+            if pushdown or self.use_planner:
                 answers = self._planned_sql_answers(
-                    rewritten, label, context, tracer, answer_key
+                    rewritten,
+                    label,
+                    context,
+                    tracer,
+                    answer_key,
+                    engine="sqlite" if pushdown else "planner",
                 )
                 if answer_key is not None:
                     self._answer_cache.put(answer_key, frozenset(answers))
@@ -580,15 +635,22 @@ class OBDASystem:
         return answers
 
     def _planned_sql_answers(
-        self, rewritten, label, context, tracer, answer_key
+        self, rewritten, label, context, tracer, answer_key, engine: str = "planner"
     ) -> Set[Tuple]:
-        """The cost-based SQL path: constraint-prune → unfold → plan → run.
+        """The optimized SQL path: constraint-prune → unfold → execute.
+
+        *engine* selects the executor for the unfolded UCQ: ``"planner"``
+        runs the cost-based in-memory plan (:mod:`repro.obda.sql.planner`),
+        ``"sqlite"`` pushes the whole statement down to the SQLite
+        backend (:mod:`repro.obda.sql.backends`).  Everything before the
+        executor — and the generation-retry discipline around it — is
+        shared.
 
         The constraint pruning is *data-dependent* (inclusions hold at a
         database generation), so the unfolding cache keys on the
         discovered inclusion fingerprint alongside the canonical query —
         a data change that flips an inclusion simply keys a fresh entry.
-        Because the pruned plan executes after the inclusions were
+        Because the pruned query executes after the inclusions were
         verified, a concurrent insert in between could invalidate an
         inclusion whose subsumed disjunct was already dropped; the loop
         below snapshots the provider generation before pruning,
@@ -599,6 +661,9 @@ class OBDASystem:
 
         constraints = self._planner_constraints()
         catalog = self.statistics_catalog()
+        backend = self.sql_backend() if engine == "sqlite" else None
+        planned = None
+        observed: Dict[int, int] = {}
         retries = 0
         for attempt in range(3):
             prune_generation = constraints.generation()
@@ -643,26 +708,45 @@ class OBDASystem:
                 else:
                     span.set("cache", "hit")
                 span.set("sql_parts", unfolded.size)
-            with tracer.span("plan") as span:
-                planned = PlannedQuery.from_unfolded(
-                    unfolded,
-                    catalog,
-                    budget=context.scoped(f"plan:{label}"),
-                    database=context.wrap_database(self.database),
-                )
-                span.annotate(
-                    parts=planned.size,
-                    estimated_rows=round(planned.estimated_rows, 1),
-                )
-            observed: Dict[int, int] = {}
-            with tracer.span("sql-eval") as span:
-                span.set("planned", True)
-                answers = planned.execute(
-                    context.wrap_database(self.database),
-                    budget=context.scoped(f"sql:{label}"),
-                    observed=observed,
-                )
-                span.set("answers", len(answers))
+            if engine == "sqlite":
+                with tracer.span("backend-exec") as span:
+                    span.set("backend", backend.name)
+                    answers = backend.execute_unfolded(
+                        unfolded,
+                        budget=context.scoped(f"sql:{label}"),
+                        database=context.wrap_database(self.database),
+                    )
+                    if tracer.enabled:
+                        report = backend.last_report() or {}
+                        span.annotate(
+                            parts=report.get("parts"),
+                            rows_fetched=report.get("rows_fetched"),
+                            load_s=report.get("load_s"),
+                            execute_s=report.get("execute_s"),
+                            statement_cache=report.get("statement_cache"),
+                        )
+                    span.set("answers", len(answers))
+            else:
+                with tracer.span("plan") as span:
+                    planned = PlannedQuery.from_unfolded(
+                        unfolded,
+                        catalog,
+                        budget=context.scoped(f"plan:{label}"),
+                        database=context.wrap_database(self.database),
+                    )
+                    span.annotate(
+                        parts=planned.size,
+                        estimated_rows=round(planned.estimated_rows, 1),
+                    )
+                observed = {}
+                with tracer.span("sql-eval") as span:
+                    span.set("planned", True)
+                    answers = planned.execute(
+                        context.wrap_database(self.database),
+                        budget=context.scoped(f"sql:{label}"),
+                        observed=observed,
+                    )
+                    span.set("answers", len(answers))
             if (
                 not inclusions  # without inclusions pruning is data-independent
                 or not pruned.dropped
@@ -671,10 +755,13 @@ class OBDASystem:
                 break
             retries += 1
         with self._lock:
-            self.planner_stats["planned_queries"] += 1
+            if engine == "sqlite":
+                self.planner_stats["pushdown_queries"] += 1
+            else:
+                self.planner_stats["planned_queries"] += 1
+                self._last_plan = (planned, observed, label, pruned.as_dict())
             self.planner_stats["pruned_disjuncts"] += pruned.dropped
             self.planner_stats["prune_retries"] += retries
-            self._last_plan = (planned, observed, label, pruned.as_dict())
         return answers
 
     def certain_answers_eql(self, query, check_consistency: bool = True):

@@ -51,6 +51,9 @@ class ExplainReport:
     #: the cost-based plan (estimated vs actual per operator) when the
     #: planned perfectref-sql path ran; see OBDASystem.last_plan_report
     plan: Optional[Dict[str, Any]] = None
+    #: the pushdown execution report (SQL, load/execute timings, statement
+    #: cache) when the sqlite backend ran; see OBDASystem.last_backend_report
+    backend: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -134,6 +137,8 @@ def run_explain(
                 root.set("answers", len(answers))
                 if method == "perfectref-sql":
                     report.plan = system.last_plan_report()
+                elif method == "perfectref-sqlite":
+                    report.backend = system.last_backend_report()
             except TimeoutExceeded as error:
                 report.status, report.detail = "timeout", str(error)
                 root.set_status("timeout", str(error))
@@ -167,6 +172,27 @@ def render_explain(report: ExplainReport, metrics: bool = True) -> str:
         )
         for text_line in str(report.plan.get("text", "")).splitlines():
             lines.append(f"  {text_line}")
+    if report.backend is not None:
+        info = report.backend
+        lines.append("")
+        lines.append(
+            f"pushdown backend ({info.get('backend', '?')}): "
+            f"{info.get('parts', 0)} part(s), "
+            f"{info.get('rows_fetched', 0)} row(s) fetched, "
+            f"statement cache {info.get('statement_cache', '?')}"
+        )
+        lines.append(
+            f"  load {float(info.get('load_s', 0.0)) * 1000:.1f}ms, "
+            f"execute {float(info.get('execute_s', 0.0)) * 1000:.1f}ms"
+        )
+        tables = info.get("tables") or {}
+        if tables:
+            shipped = ", ".join(
+                f"{name}+{count}" for name, count in sorted(tables.items())
+            )
+            lines.append(f"  rows shipped: {shipped}")
+        for text_line in str(info.get("sql", "")).splitlines():
+            lines.append(f"  | {text_line}")
     if report.fallback is not None:
         lines.append("")
         lines.append(
@@ -209,6 +235,7 @@ def explain_records(report: ExplainReport) -> List[Dict[str, Any]]:
             "answers": report.answers,
             "fallback": report.fallback,
             "plan": report.plan,
+            "backend": report.backend,
             "spans": len(report.tracer.spans),
         }
     ]

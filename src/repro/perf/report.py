@@ -136,6 +136,73 @@ def _measure_sql_gap(
     }
 
 
+def _recorded_pushdown_gap(bench_path: Optional[str] = None) -> Optional[Dict]:
+    """The acceptance block recorded by ``benchmarks/bench_sqlite_pushdown.py``.
+
+    Reads ``BENCH_sqlite.json`` at the repository root (or *bench_path*)
+    and returns its ``acceptance.pushdown_gap`` dict: the pushed-down
+    warm re-query latency at the largest benchmarked size, the planned
+    in-memory reference at 2k rows, and whether the gate held.  Returns
+    None when the recording is absent, so installed copies stay usable.
+    """
+    import json
+    from pathlib import Path
+
+    path = (
+        Path(bench_path)
+        if bench_path is not None
+        else Path(__file__).resolve().parents[3] / "BENCH_sqlite.json"
+    )
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    gap = (data.get("acceptance") or {}).get("pushdown_gap")
+    return gap if isinstance(gap, dict) else None
+
+
+def _measure_pushdown_gap(
+    profile: str,
+    scale: float,
+    seed: int,
+    queries: int,
+    budget: Optional[float],
+) -> Dict[str, object]:
+    """One cold pass each of the planned in-memory path and the pushdown.
+
+    Like :func:`_measure_sql_gap`, each side gets its own fresh system
+    over the identical seeded workload; the live ratio complements the
+    recorded large-scale gate from ``BENCH_sqlite.json``.
+    """
+    timings: Dict[str, float] = {}
+    answers: Dict[str, List[frozenset]] = {}
+    for method in ("perfectref-sql", "perfectref-sqlite"):
+        system, batch = _build_workload(profile, scale, seed, queries)
+        started = time.perf_counter()
+        answers[method] = [
+            frozenset(
+                system.certain_answers(
+                    query,
+                    method=method,
+                    check_consistency=False,
+                    budget=budget,
+                )
+            )
+            for query in batch
+        ]
+        timings[method] = time.perf_counter() - started
+    ratio = timings["perfectref-sqlite"] / max(timings["perfectref-sql"], 1e-9)
+    return {
+        "planned_sql_s": round(timings["perfectref-sql"], 6),
+        "pushdown_s": round(timings["perfectref-sqlite"], 6),
+        "ratio": round(ratio, 2),
+        "recorded": _recorded_pushdown_gap(),
+        "match": answers["perfectref-sql"] == answers["perfectref-sqlite"],
+    }
+
+
 def run_perf_report(
     profile: str = "Mouse",
     scale: float = 0.25,
@@ -230,6 +297,7 @@ def run_perf_report(
         "pruning": pruning,
         "coherent": coherent,
         "sql_gap": _measure_sql_gap(profile, scale, seed, queries, budget),
+        "pushdown_gap": _measure_pushdown_gap(profile, scale, seed, queries, budget),
         "per_query": per_query,
     }
 
@@ -277,6 +345,32 @@ def check_report(report: Dict[str, object]) -> List[str]:
                     f"(allowed {allowed:.1f}x from recorded ratio "
                     f"{recorded:.2f}x) — the planner has regressed"
                 )
+    pushdown = report.get("pushdown_gap") or {}
+    if pushdown:
+        if not pushdown.get("match", True):
+            failures.append(
+                "pushed-down sqlite answers diverge from the planned "
+                "in-memory answers on the seeded workload"
+            )
+        recorded = pushdown.get("recorded")
+        if recorded is not None and not recorded.get("ok", True):
+            failures.append(
+                "recorded pushdown bench gate failed: warm re-query at "
+                f"{recorded.get('rows')} rows "
+                f"({(recorded.get('pushed_warm_requery_s') or 0) * 1000:.2f}ms) "
+                "exceeds the planned in-memory reference at "
+                f"{recorded.get('reference_rows')} rows "
+                f"({(recorded.get('planned_reference_s') or 0) * 1000:.2f}ms)"
+            )
+        measured = pushdown.get("ratio")
+        if measured is not None and measured > 10.0:
+            # generous: the tiny seeded workload pays the replica load on
+            # every query, so only an order-of-magnitude gap should trip
+            failures.append(
+                f"pushed-down sqlite is {measured:.1f}x slower than the "
+                "planned in-memory path on the seeded workload — the "
+                "pushdown has regressed"
+            )
     return failures
 
 
@@ -321,6 +415,24 @@ def format_report(report: Dict[str, object]) -> str:
             f"KB {gap['kb_s'] * 1000:.1f}ms = {gap['ratio']}x"
             + recorded_text
             + ("" if gap.get("match", True) else " — ANSWERS DIVERGE")
+        )
+    pushdown = report.get("pushdown_gap") or {}
+    if pushdown:
+        recorded = pushdown.get("recorded")
+        recorded_text = (
+            (
+                f" (recorded gate at {recorded.get('rows')} rows: "
+                f"{'OK' if recorded.get('ok') else 'FAILED'})"
+            )
+            if recorded is not None
+            else " (no recorded pushdown benchmark)"
+        )
+        lines.append(
+            f"  pushdown gap: sqlite {pushdown['pushdown_s'] * 1000:.1f}ms vs "
+            f"planned {pushdown['planned_sql_s'] * 1000:.1f}ms = "
+            f"{pushdown['ratio']}x"
+            + recorded_text
+            + ("" if pushdown.get("match", True) else " — ANSWERS DIVERGE")
         )
     lines.append(
         "  coherent: warm answers identical to cold answers"

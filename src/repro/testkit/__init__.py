@@ -46,6 +46,7 @@ from .oracle import (
     DEFAULT_ENGINES,
     Disagreement,
     diff_answers,
+    diff_backend,
     diff_classifications,
     diff_engines,
     diff_planner,
@@ -67,6 +68,7 @@ __all__ = [
     "check_renaming",
     "check_union_monotonicity",
     "diff_answers",
+    "diff_backend",
     "diff_classifications",
     "diff_engines",
     "diff_planner",

@@ -40,6 +40,7 @@ from .oracle import (
     DEFAULT_ENGINES,
     Disagreement,
     diff_answers,
+    diff_backend,
     diff_engines,
     diff_planner,
     semantics_soundness,
@@ -64,8 +65,11 @@ class ConformanceConfig:
     obda_every: int = 2
     #: run the planner-vs-naive SQL oracle every Nth round (0 = never)
     planner_every: int = 2
+    #: run the sqlite-pushdown-vs-in-memory oracle every Nth round (0 = never)
+    backend_every: int = 2
     #: "all" runs the full battery; "planner" runs only the planner
-    #: oracle, every round (the CI planner-smoke job)
+    #: oracle, every round (the CI planner-smoke job); "backend" runs
+    #: only the sqlite pushdown oracle, every round (the sqlite-smoke job)
     mode: str = "all"
     #: where minimized reproducers are written (None = don't write)
     regression_dir: Optional[str] = None
@@ -172,6 +176,11 @@ def _run_round(
     if config.mode == "planner":
         # Planner-only campaign: every round is one planner-oracle check.
         _run_planner_check(report, config, rng, round_index, budget)
+        return
+    if config.mode == "backend":
+        # Backend-only campaign: every round diffs the sqlite pushdown
+        # against both in-memory SQL paths.
+        _run_backend_check(report, config, rng, round_index, budget)
         return
 
     tbox = random_profile_tbox(rng, config.profile)
@@ -286,6 +295,10 @@ def _run_round(
     if config.planner_every and round_index % config.planner_every == 0:
         _run_planner_check(report, config, rng, round_index, budget)
 
+    # 6. backend oracle: sqlite pushdown vs both in-memory SQL paths
+    if config.backend_every and round_index % config.backend_every == 0:
+        _run_backend_check(report, config, rng, round_index, budget)
+
 
 def _run_planner_check(
     report: ConformanceReport,
@@ -312,6 +325,35 @@ def _run_planner_check(
             small,
             problems,
             lambda t: diff_planner(t, abox, queries, budget=budget),
+            round_index,
+            budget,
+        )
+
+
+def _run_backend_check(
+    report: ConformanceReport,
+    config: ConformanceConfig,
+    rng: random.Random,
+    round_index: int,
+    budget: Budget,
+) -> None:
+    """One backend-oracle check: sqlite pushdown vs in-memory SQL paths."""
+    small = random_tiny_tbox(rng, config.profile)
+    abox = random_abox(rng, small, config.profile)
+    queries = random_queries(rng, small, config.profile)
+    if not queries:
+        return
+    problems = diff_backend(small, abox, queries, budget=budget)
+    report.checks_run += 1
+    if problems:
+        # Backend diffs shrink like planner diffs: TBox only, data and
+        # queries fixed, so the mistranslated unfolding survives.
+        _shrink_and_record(
+            report,
+            config,
+            small,
+            problems,
+            lambda t: diff_backend(t, abox, queries, budget=budget),
             round_index,
             budget,
         )

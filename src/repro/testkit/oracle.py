@@ -40,6 +40,7 @@ __all__ = [
     "DEFAULT_ENGINES",
     "Disagreement",
     "diff_answers",
+    "diff_backend",
     "diff_classifications",
     "diff_engines",
     "diff_planner",
@@ -63,7 +64,7 @@ class Disagreement:
     """One observed divergence between two components of the stack."""
 
     #: "classification" | "unsat" | "semantics" | "answers" | "consistency"
-    #: | "error" | "planner" | "metamorphic:<invariant>"
+    #: | "error" | "planner" | "backend" | "metamorphic:<invariant>"
     kind: str
     #: The two sides that disagree (engine or method names).
     left: str
@@ -311,6 +312,82 @@ def diff_planner(
                 tbox.name,
             )
         )
+    return problems
+
+
+def diff_backend(
+    tbox: TBox,
+    abox,
+    queries,
+    budget: Optional[Budget] = None,
+) -> List[Disagreement]:
+    """Diff the sqlite pushdown backend against both in-memory SQL paths.
+
+    Three systems over a direct mapping of *abox*: the pushed-down
+    sqlite backend (``perfectref-sqlite``), the cost-based planner, and
+    the naive algebra evaluator (both ``perfectref-sql``).  The naive
+    evaluator is the semantic reference; a divergence on the sqlite side
+    means the canonical-key equality encoding, the UNION compilation, or
+    the delta loader mis-translated the unfolding into real SQL.  An
+    empty list means all three produced identical certain answers on
+    every query.
+    """
+    from ..errors import MappingError
+    from .generators import direct_mapping_system
+
+    sqlite_system = direct_mapping_system(tbox, abox)
+    planned = direct_mapping_system(tbox, abox)
+    planned.use_planner = True
+    naive = direct_mapping_system(tbox, abox)
+    naive.use_planner = False
+    sides = (
+        ("sqlite", sqlite_system, "perfectref-sqlite"),
+        ("planned", planned, "perfectref-sql"),
+        ("naive", naive, "perfectref-sql"),
+    )
+    problems: List[Disagreement] = []
+    for query in queries:
+        outcomes = {}
+        for label, system, method in sides:
+            try:
+                outcomes[label] = (
+                    "answers",
+                    frozenset(
+                        system.certain_answers(query, method=method, budget=budget)
+                    ),
+                )
+            except InconsistentOntology:
+                outcomes[label] = ("inconsistent", frozenset())
+            except MappingError as error:
+                outcomes[label] = (f"mapping-error:{error}", frozenset())
+        reference = outcomes["naive"]
+        for label in ("sqlite", "planned"):
+            if outcomes[label] == reference:
+                continue
+            (status, answers), (n_status, n_answers) = outcomes[label], reference
+            if status != n_status:
+                detail = (
+                    f"on {query.name}: {label} says {status}, "
+                    f"naive says {n_status}"
+                )
+            else:
+                parts = []
+                gained = answers - n_answers
+                lost = n_answers - answers
+                if gained:
+                    parts.append(f"extra answers {_sample(gained)}")
+                if lost:
+                    parts.append(f"missing answers {_sample(lost)}")
+                detail = f"on {query.name}: " + "; ".join(parts)
+            problems.append(
+                Disagreement(
+                    "backend",
+                    f"{label}/{'perfectref-sqlite' if label == 'sqlite' else 'perfectref-sql'}",
+                    "naive/perfectref-sql",
+                    detail,
+                    tbox.name,
+                )
+            )
     return problems
 
 

@@ -82,6 +82,25 @@ def test_explain_generates_a_query_when_none_given(university):
     assert again.query == report.query  # fully deterministic
 
 
+def test_explain_surfaces_the_sqlite_backend(university):
+    report = run_explain(
+        university, query="q(x) :- Teacher(x)", method="perfectref-sqlite"
+    )
+    assert report.ok
+    assert report.answers > 0
+    assert report.backend is not None
+    assert report.backend["backend"] == "sqlite"
+    assert report.backend["parts"] >= 1
+    assert "SELECT" in report.backend["sql"]
+    names = [span.name for span in report.tracer.spans]
+    assert "backend-exec" in names
+    rendered = render_explain(report)
+    assert "pushdown backend (sqlite)" in rendered
+    header = json.loads(explain_jsonlines(report).splitlines()[0])
+    assert header["backend"]["backend"] == "sqlite"
+    assert validate_trace_lines(explain_jsonlines(report)) == []
+
+
 def test_explain_timeout_closes_all_spans(university):
     report = run_explain(university, query="q(x) :- Teacher(x)", budget=0.0)
     assert report.status == "timeout"

@@ -35,6 +35,33 @@ def test_check_report_flags_regressions():
     assert any("incoherence" in failure for failure in failures)
 
 
+def test_report_probes_the_pushdown_gap():
+    report = run_perf_report(**ARGS)
+    gap = report["pushdown_gap"]
+    assert gap["match"]  # sqlite answers equal planned in-memory answers
+    assert gap["pushdown_s"] > 0 and gap["planned_sql_s"] > 0
+    rendered = format_report(report)
+    assert "pushdown gap" in rendered
+
+
+def test_check_report_flags_pushdown_regressions():
+    report = run_perf_report(**ARGS)
+    broken = json.loads(json.dumps(report))
+    broken["pushdown_gap"]["match"] = False
+    broken["pushdown_gap"]["ratio"] = 25.0
+    broken["pushdown_gap"]["recorded"] = {
+        "ok": False,
+        "rows": 100000,
+        "reference_rows": 2000,
+        "pushed_warm_requery_s": 0.5,
+        "planned_reference_s": 0.03,
+    }
+    failures = check_report(broken)
+    assert any("diverge from the planned" in failure for failure in failures)
+    assert any("recorded pushdown bench gate" in failure for failure in failures)
+    assert any("pushdown has regressed" in failure for failure in failures)
+
+
 def test_check_report_rejects_traced_measurements():
     report = run_perf_report(**ARGS)
     assert report["tracing_enabled"] is False  # NullTracer is the default

@@ -100,6 +100,19 @@ def test_planner_agrees_on_reproducer(path):
     assert diff_planner(tbox, abox, queries) == []
 
 
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_backend_agrees_on_reproducer(path):
+    """The sqlite pushdown equals both in-memory SQL paths on seeded data."""
+    from repro.testkit import diff_backend
+    from repro.testkit.generators import random_abox, random_queries
+
+    tbox = _load(path)
+    rng = random.Random(f"backend-regression:{path.stem}")
+    abox = random_abox(rng, tbox)
+    queries = random_queries(rng, tbox)
+    assert diff_backend(tbox, abox, queries) == []
+
+
 def _mapped_system(tbox, tables):
     """An OBDASystem over hand-built unary tables (name -> rows)."""
     from repro.dllite import AtomicConcept
@@ -120,10 +133,10 @@ def _mapped_system(tbox, tables):
     return OBDASystem(tbox, mappings=mappings, database=database)
 
 
-def _answers(system, text):
+def _answers(system, text, method="perfectref-sql"):
     from repro.obda.cq_parser import parse_query
 
-    return system.certain_answers(parse_query(text), method="perfectref-sql")
+    return system.certain_answers(parse_query(text), method=method)
 
 
 def test_planner_regression_empty_table():
@@ -175,3 +188,74 @@ def test_planner_regression_all_redundant_disjuncts_pruned():
     # are extensionally contained in Teacher, so only one disjunct survives
     assert pruning["before"] == 3
     assert pruning["after"] == 1
+
+
+def test_backend_regression_mixed_type_keys():
+    """The pinned planner-sqlite-mixed-keys scenario, replayed explicitly.
+
+    Mixed-type cells (1, "1", 1.0, True, None) must survive the sqlite
+    round trip: selections and joins match by the engine's loose
+    equality, while distinct IRI string forms stay apart in the answers.
+    """
+    from repro.dllite import AtomicConcept, AtomicRole
+    from repro.obda import Database, MappingAssertion, MappingCollection, TargetAtom
+    from repro.obda.mapping import IriTemplate
+    from repro.obda.system import OBDASystem
+
+    tbox = _load(CORPUS / "planner-sqlite-mixed-keys.dl")
+    rows = {
+        "staff": (["id", "role"], [(1, "prof"), ("1", "lect"), (1.0, "prof"),
+                                   (True, "lect"), (None, "prof"), (2, "prof")]),
+        "teaching": (["sid", "course"], [(1, "logic"), ("1", "sets"),
+                                         (2.0, "compilers")]),
+    }
+
+    def build():
+        database = Database("sqlite-regression")
+        for name, (columns, data) in sorted(rows.items()):
+            database.create_table(name, columns, list(data))
+        mappings = MappingCollection(
+            [
+                MappingAssertion(
+                    "SELECT id FROM staff WHERE role = 'prof'",
+                    [TargetAtom(AtomicConcept("Professor"),
+                                (IriTemplate("person/{id}"),))],
+                ),
+                MappingAssertion(
+                    "SELECT id FROM staff WHERE role = 'lect'",
+                    [TargetAtom(AtomicConcept("Lecturer"),
+                                (IriTemplate("person/{id}"),))],
+                ),
+                MappingAssertion(
+                    "SELECT sid, course FROM teaching",
+                    [TargetAtom(AtomicRole("teaches"),
+                                (IriTemplate("person/{sid}"),
+                                 IriTemplate("course/{course}")))],
+                ),
+            ]
+        )
+        return OBDASystem(tbox, mappings=mappings, database=database)
+
+    outcomes = {}
+    for label, method, planner in (
+        ("sqlite", "perfectref-sqlite", True),
+        ("planned", "perfectref-sql", True),
+        ("naive", "perfectref-sql", False),
+    ):
+        system = build()
+        system.use_planner = planner
+        outcomes[label] = {
+            text: _answers(system, text, method=method)
+            for text in (
+                "q(x) :- Teacher(x)",
+                "q(x, y) :- teaches(x, y)",
+                "q(y) :- Professor(x), teaches(x, y)",
+                "q() :- Lecturer(x)",
+            )
+        }
+    assert outcomes["sqlite"] == outcomes["naive"]
+    assert outcomes["planned"] == outcomes["naive"]
+    # the loose equality matched 1 / "1" / 1.0 / True, but their string
+    # forms — hence their IRIs — stay distinct certain answers
+    teachers = {answer[0].name for answer in outcomes["sqlite"]["q(x) :- Teacher(x)"]}
+    assert {"person/1", "person/1.0", "person/True", "person/None"} <= teachers

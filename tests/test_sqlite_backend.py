@@ -1,0 +1,467 @@
+"""Unit tests for the SQLite pushdown backend (repro.obda.sql.backends).
+
+The contract under test: for every unfolded UCQ, the backend's answer
+set equals the naive in-memory evaluator's — including the mixed-type
+equality corners (``a == b or str(a) == str(b)``) that motivated the
+dual-key storage encoding — while loading incrementally (only new rows
+re-shipped on insert) and honoring ``runtime.budget`` deadlines from
+inside SQLite via a progress handler.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.dllite import AtomicAttribute, AtomicConcept, AtomicRole
+from repro.dllite.abox import Individual
+from repro.dllite.parser import parse_tbox
+from repro.errors import MappingError, ReproError, TimeoutExceeded
+from repro.obda.mapping import (
+    IriTemplate,
+    MappingAssertion,
+    MappingCollection,
+    TargetAtom,
+    ValueColumn,
+)
+from repro.obda.cq_parser import parse_query
+from repro.obda.rewriting.unfolding import unfold
+from repro.obda.sql.backends import SqliteBackend, _decode_raw, _encode_cell
+from repro.obda.sql.database import Database
+from repro.obda.system import OBDASystem
+from repro.runtime.budget import Budget
+
+TBOX = parse_tbox(
+    """
+    Professor isa Teacher
+    Lecturer isa Teacher
+    exists teaches isa Teacher
+    """
+)
+
+
+def _campus(rows_staff=None, rows_teaching=None):
+    database = Database("campus")
+    staff = database.create_table("staff", ["id", "role"])
+    teaching = database.create_table("teaching", ["sid", "course"])
+    for row in rows_staff if rows_staff is not None else [
+        (1, "prof"),
+        ("2", "lect"),
+        (3.0, "prof"),
+        (True, "lect"),
+        (None, "prof"),
+    ]:
+        staff.insert(row)
+    for row in rows_teaching if rows_teaching is not None else [
+        (1, "c1"),
+        ("1", "c2"),
+        (2, "c3"),
+        (1.0, "c4"),
+        ("x", "c5"),
+    ]:
+        teaching.insert(row)
+    mappings = MappingCollection(
+        [
+            MappingAssertion(
+                "SELECT id FROM staff WHERE role = 'prof'",
+                [TargetAtom(AtomicConcept("Professor"), (IriTemplate("person/{id}"),))],
+            ),
+            MappingAssertion(
+                "SELECT id FROM staff WHERE role = 'lect'",
+                [TargetAtom(AtomicConcept("Lecturer"), (IriTemplate("person/{id}"),))],
+            ),
+            MappingAssertion(
+                "SELECT sid, course FROM teaching",
+                [
+                    TargetAtom(
+                        AtomicRole("teaches"),
+                        (IriTemplate("person/{sid}"), IriTemplate("course/{course}")),
+                    )
+                ],
+            ),
+        ]
+    )
+    return database, mappings
+
+
+QUERIES = [
+    "q(x) :- Teacher(x)",
+    "q(x) :- Professor(x)",
+    "q(x, y) :- teaches(x, y), Professor(x)",
+    "q(x) :- Professor(x), teaches(x, y)",
+    "q() :- Lecturer(x)",
+    "q() :- Professor(x), teaches(x, y)",
+]
+
+
+def _systems():
+    database, mappings = _campus()
+    sqlite = OBDASystem(TBOX, mappings, database, backend="sqlite")
+    naive = OBDASystem(TBOX, mappings, database, use_planner=False)
+    planned = OBDASystem(TBOX, mappings, database, use_planner=True)
+    return database, sqlite, naive, planned
+
+
+# -- answer equivalence --------------------------------------------------------
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_backend_matches_naive_and_planner(query):
+    _, sqlite, naive, planned = _systems()
+    expected = naive.certain_answers(query, method="perfectref-sql")
+    assert sqlite.certain_answers(query, method="perfectref-sqlite") == expected
+    assert planned.certain_answers(query, method="perfectref-sql") == expected
+
+
+def test_backend_flag_routes_plain_sql_method():
+    _, sqlite, naive, _ = _systems()
+    query = "q(x) :- Teacher(x)"
+    assert sqlite.certain_answers(
+        query, method="perfectref-sql"
+    ) == naive.certain_answers(query, method="perfectref-sql")
+    assert sqlite.planner_stats["pushdown_queries"] >= 1
+    assert sqlite.planner_stats["planned_queries"] == 0
+
+
+def test_mixed_numeric_templates_keep_all_individuals():
+    """The 1 vs 1.0 completeness case: KB mode, naive, planner and the
+    backend all answer with *both* person/1 and person/1.0."""
+    database, mappings = _campus(
+        rows_staff=[], rows_teaching=[(1, "c1"), (1.0, "c4")]
+    )
+    expected = {(Individual("person/1"),), (Individual("person/1.0"),)}
+    kb = OBDASystem(TBOX, mappings, database)
+    assert kb.certain_answers("q(x) :- Teacher(x)", method="perfectref") == expected
+    for kwargs, method in [
+        (dict(use_planner=False), "perfectref-sql"),
+        (dict(use_planner=True), "perfectref-sql"),
+        (dict(backend="sqlite"), "perfectref-sqlite"),
+    ]:
+        system = OBDASystem(TBOX, mappings, database, **kwargs)
+        assert system.certain_answers("q(x) :- Teacher(x)", method=method) == expected
+
+
+def test_raw_value_answers_decode_faithfully():
+    database = Database("hr")
+    database.create_table(
+        "salaries",
+        ["pid", "amount"],
+        [(1, 100), (2, "high"), (3, 2.5), (4, None), (5, True), (6, False)],
+    )
+    mappings = MappingCollection(
+        [
+            MappingAssertion(
+                "SELECT pid, amount FROM salaries",
+                [
+                    TargetAtom(
+                        AtomicAttribute("salary"),
+                        (IriTemplate("person/{pid}"), ValueColumn("amount")),
+                    )
+                ],
+            )
+        ]
+    )
+    tbox = parse_tbox("exists salary isa Paid")
+    naive = OBDASystem(tbox, mappings, database, use_planner=False)
+    sqlite = OBDASystem(tbox, mappings, database, backend="sqlite")
+    expected = naive.certain_answers("q(x, v) :- salary(x, v)", method="perfectref-sql")
+    got = sqlite.certain_answers("q(x, v) :- salary(x, v)", method="perfectref-sqlite")
+    assert got == expected
+    values = {answer[1] for answer in got}
+    assert values == {100, "high", 2.5, None, True, False}
+    # bool cells decode back to bool, not to SQLite's 0/1 integers
+    assert any(value is True for value in values)
+    assert any(value is False for value in values)
+
+
+def test_unknown_backend_and_method_rejected():
+    database, mappings = _campus()
+    with pytest.raises(ReproError):
+        OBDASystem(TBOX, mappings, database, backend="postgres")
+    system = OBDASystem(TBOX, mappings, database)
+    with pytest.raises(ReproError):
+        system.certain_answers("q(x) :- Teacher(x)", method="perfectref-duckdb")
+
+
+def test_kb_mode_rejects_sqlite_method():
+    from repro.dllite.abox import ABox
+
+    system = OBDASystem(TBOX, abox=ABox())
+    with pytest.raises(ReproError):
+        system.certain_answers("q(x) :- Teacher(x)", method="perfectref-sqlite")
+
+
+# -- loading -------------------------------------------------------------------
+
+
+def test_delta_loading_ships_only_new_rows():
+    database, sqlite, naive, _ = _systems()
+    query = "q(x) :- Professor(x)"
+    sqlite.certain_answers(query, method="perfectref-sqlite")
+    backend = sqlite.sql_backend()
+    stats = backend.stats()
+    assert stats["full_loads"] >= 1
+    shipped_before = stats["rows_shipped"]
+    database["staff"].insert((7, "prof"))
+    answers = sqlite.certain_answers(query, method="perfectref-sqlite")
+    assert answers == naive.certain_answers(query, method="perfectref-sql")
+    assert (Individual("person/7"),) in answers
+    stats = backend.stats()
+    assert stats["delta_loads"] >= 1
+    assert stats["rows_shipped"] == shipped_before + 1
+
+
+def test_unchanged_generation_ships_nothing():
+    _, sqlite, _, _ = _systems()
+    query = "q(x) :- Professor(x)"
+    sqlite.certain_answers(query, method="perfectref-sqlite")
+    shipped = sqlite.sql_backend().stats()["rows_shipped"]
+    # different query shape over the same tables: no rows move again
+    sqlite.certain_answers("q(x) :- Lecturer(x)", method="perfectref-sqlite")
+    assert sqlite.sql_backend().stats()["rows_shipped"] == shipped
+
+
+def test_invalidate_forces_full_reload():
+    database, sqlite, naive, _ = _systems()
+    query = "q(x) :- Professor(x)"
+    sqlite.certain_answers(query, method="perfectref-sqlite")
+    backend = sqlite.sql_backend()
+    # out-of-band mutation the generation counter cannot see
+    database["staff"].rows[:] = [(9, "prof")]
+    sqlite.invalidate_caches()
+    naive.invalidate_caches()
+    assert sqlite.certain_answers(
+        query, method="perfectref-sqlite"
+    ) == naive.certain_answers(query, method="perfectref-sql")
+    assert backend.stats()["full_loads"] >= 2
+
+
+def test_file_backed_path_reloads_cleanly(tmp_path):
+    path = os.fspath(tmp_path / "pushdown.db")
+    database, mappings = _campus()
+    first = OBDASystem(
+        TBOX, mappings, database, backend="sqlite", backend_path=path
+    )
+    expected = first.certain_answers("q(x) :- Teacher(x)", method="perfectref-sqlite")
+    first.sql_backend().close()
+    assert os.path.exists(path)
+    # a fresh backend over the same file treats it as scratch and reloads
+    second = OBDASystem(
+        TBOX, mappings, database, backend="sqlite", backend_path=path
+    )
+    assert (
+        second.certain_answers("q(x) :- Teacher(x)", method="perfectref-sqlite")
+        == expected
+    )
+
+
+def test_closed_backend_raises():
+    _, sqlite, _, _ = _systems()
+    sqlite.certain_answers("q(x) :- Teacher(x)", method="perfectref-sqlite")
+    sqlite.sql_backend().close()
+    with pytest.raises(ReproError):
+        sqlite.certain_answers("q(y) :- teaches(x, y)", method="perfectref-sqlite")
+
+
+# -- statement cache -----------------------------------------------------------
+
+
+def test_statement_cache_hits_on_requery():
+    database, mappings = _campus()
+    system = OBDASystem(TBOX, mappings, database, backend="sqlite")
+    ucq = system.rewrite(parse_query("q(x) :- Teacher(x)"))
+    unfolded = unfold(ucq, mappings)
+    backend = system.sql_backend()
+    first = backend.execute_unfolded(unfolded)
+    assert backend.stats()["statement_misses"] >= 1
+    second = backend.execute_unfolded(unfolded)
+    assert first == second
+    assert backend.stats()["statement_hits"] >= 1
+    assert backend.last_report()["statement_cache"] == "hit"
+
+
+def test_statement_cache_revalidates_generation():
+    database, mappings = _campus()
+    backend = SqliteBackend(database)
+    ucq = OBDASystem(TBOX, mappings, database).rewrite(
+        parse_query("q(x) :- Professor(x)")
+    )
+    unfolded = unfold(ucq, mappings)
+    before = backend.execute_unfolded(unfolded)
+    stamp_before = backend.last_report()["generation_stamp"]
+    database["staff"].insert((42, "prof"))
+    after = backend.execute_unfolded(unfolded)
+    assert backend.last_report()["statement_cache"] == "hit"
+    assert backend.last_report()["generation_stamp"] > stamp_before
+    assert after == before | {(Individual("person/42"),)}
+
+
+# -- SQL shapes ----------------------------------------------------------------
+
+
+def test_union_mapping_source_pushes_down():
+    database = Database("multi")
+    database.create_table("a_profs", ["pid"], [(1,), (2,)])
+    database.create_table("b_profs", ["pid"], [(2,), ("3",)])
+    mappings = MappingCollection(
+        [
+            MappingAssertion(
+                "SELECT pid FROM a_profs UNION SELECT pid FROM b_profs",
+                [TargetAtom(AtomicConcept("Professor"), (IriTemplate("p/{pid}"),))],
+            )
+        ]
+    )
+    naive = OBDASystem(TBOX, mappings, database, use_planner=False)
+    sqlite = OBDASystem(TBOX, mappings, database, backend="sqlite")
+    expected = naive.certain_answers("q(x) :- Professor(x)", method="perfectref-sql")
+    assert (
+        sqlite.certain_answers("q(x) :- Professor(x)", method="perfectref-sqlite")
+        == expected
+    )
+    assert {answer[0].name for answer in expected} == {"p/1", "p/2", "p/3"}
+
+
+def test_inequality_condition_pushes_down():
+    database = Database("ineq")
+    database.create_table(
+        "staff", ["id", "role"], [(1, "prof"), (2, "lect"), ("1", "dean")]
+    )
+    mappings = MappingCollection(
+        [
+            MappingAssertion(
+                "SELECT id FROM staff WHERE role != 'lect'",
+                [TargetAtom(AtomicConcept("Professor"), (IriTemplate("p/{id}"),))],
+            )
+        ]
+    )
+    naive = OBDASystem(TBOX, mappings, database, use_planner=False)
+    sqlite = OBDASystem(TBOX, mappings, database, backend="sqlite")
+    expected = naive.certain_answers("q(x) :- Professor(x)", method="perfectref-sql")
+    assert (
+        sqlite.certain_answers("q(x) :- Professor(x)", method="perfectref-sqlite")
+        == expected
+    )
+
+
+def test_numeric_constant_selection_matches_equal_semantics():
+    database = Database("consts")
+    database.create_table(
+        "cells", ["id", "flag"], [(1, 1), (2, "1"), (3, 1.0), (4, True), (5, 2)]
+    )
+    mappings = MappingCollection(
+        [
+            MappingAssertion(
+                "SELECT id FROM cells WHERE flag = 1",
+                [TargetAtom(AtomicConcept("Professor"), (IriTemplate("p/{id}"),))],
+            )
+        ]
+    )
+    naive = OBDASystem(TBOX, mappings, database, use_planner=False)
+    sqlite = OBDASystem(TBOX, mappings, database, backend="sqlite")
+    expected = naive.certain_answers("q(x) :- Professor(x)", method="perfectref-sql")
+    got = sqlite.certain_answers("q(x) :- Professor(x)", method="perfectref-sqlite")
+    assert got == expected
+    # equal(cell, 1) accepts 1, "1", 1.0 and True — but not 2
+    assert {answer[0].name for answer in got} == {"p/1", "p/2", "p/3", "p/4"}
+
+
+def test_empty_unfolding_returns_empty_set():
+    database, mappings = _campus()
+    backend = SqliteBackend(database)
+    ucq = parse_query("q(x) :- Unmapped(x)")
+    unfolded = unfold(ucq, mappings)
+    assert unfolded.size == 0
+    assert backend.execute_unfolded(unfolded) == set()
+
+
+def test_single_statement_is_shipped():
+    database, mappings = _campus()
+    system = OBDASystem(TBOX, mappings, database, backend="sqlite")
+    system.certain_answers("q(x) :- Teacher(x)", method="perfectref-sqlite")
+    report = system.last_backend_report()
+    assert report is not None
+    assert report["parts"] >= 3  # Professor, Lecturer, exists-teaches disjuncts
+    assert report["sql"].count("UNION") == report["parts"] - 1
+
+
+# -- budgets -------------------------------------------------------------------
+
+
+def test_expired_budget_raises_before_execution():
+    database, mappings = _campus()
+    backend = SqliteBackend(database)
+    unfolded = unfold(
+        OBDASystem(TBOX, mappings, database).rewrite(parse_query("q(x) :- Teacher(x)")),
+        mappings,
+    )
+    with pytest.raises(TimeoutExceeded):
+        backend.execute_unfolded(unfolded, budget=Budget(0.0, task="t"))
+
+
+def test_progress_handler_aborts_runaway_statement():
+    database = Database("big")
+    left = database.create_table("lefts", ["v"])
+    right = database.create_table("rights", ["v"])
+    for i in range(1500):
+        left.insert((f"l{i}",))
+        right.insert((f"r{i}",))
+    mappings = MappingCollection(
+        [
+            MappingAssertion(
+                "SELECT v FROM lefts",
+                [TargetAtom(AtomicConcept("A"), (IriTemplate("a/{v}"),))],
+            ),
+            MappingAssertion(
+                "SELECT v FROM rights",
+                [TargetAtom(AtomicConcept("B"), (IriTemplate("b/{v}"),))],
+            ),
+        ]
+    )
+    tbox = parse_tbox("A isa Thing\nB isa Thing")
+    unfolded = unfold(
+        parse_query("q(x, y) :- A(x), B(y)"), mappings
+    )
+    backend = SqliteBackend(database, progress_stride=1000)
+    budget = Budget(30.0, task="cross")
+    backend._ensure_loaded(  # preload so the budget is spent inside execute
+        {"lefts": database["lefts"], "rights": database["rights"]}, budget
+    )
+    with pytest.raises(TimeoutExceeded):
+        backend.execute_unfolded(unfolded, budget=Budget(0.05, task="cross"))
+
+
+# -- cell encoding -------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value",
+    [1, -7, "x", "1", 2.5, 2.0, True, False, None, float("inf"), float("-inf")],
+)
+def test_encode_decode_roundtrip(value):
+    raw, text, _ = _encode_cell(value)
+    assert text == str(value)
+    decoded = _decode_raw(raw, text)
+    assert decoded == value and type(decoded) is type(value)
+
+
+def test_encode_nan_and_huge_ints_degrade_as_documented():
+    raw, text, numeric = _encode_cell(float("nan"))
+    assert text == "nan" and numeric is None
+    assert math.isnan(_decode_raw(None, "nan"))
+    raw, text, numeric = _encode_cell(10 ** 30)
+    assert raw == text == str(10 ** 30)
+    assert numeric == float(10 ** 30)
+
+
+def test_retry_wrapped_database_is_used_for_table_access():
+    from repro.runtime.retry import RetryPolicy
+
+    database, mappings = _campus()
+    system = OBDASystem(TBOX, mappings, database, backend="sqlite")
+    answers = system.certain_answers(
+        "q(x) :- Teacher(x)",
+        method="perfectref-sqlite",
+        retry=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+    )
+    naive = OBDASystem(TBOX, mappings, database, use_planner=False)
+    assert answers == naive.certain_answers("q(x) :- Teacher(x)", method="perfectref-sql")
