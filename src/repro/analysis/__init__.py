@@ -1,0 +1,62 @@
+"""repro.analysis — invariant-checking static analysis (``repro lint``).
+
+A zero-dependency, AST-based lint engine whose rules encode this
+codebase's cross-cutting protocols rather than generic style:
+
+* **RL001 lock-discipline** — guarded attributes, leaf locks,
+  copy-on-write snapshots;
+* **RL002 generation-protocol** — snapshot/revalidate bracketing and
+  generation-stamped cache keys (the PR-7 stale-shared-index class);
+* **RL003 budget-threading** — loops poll the budget, phase calls
+  forward it;
+* **RL004 obs-conventions** — metric naming, span context managers,
+  library logging posture, mutable defaults;
+* **RL005 sql-safety** — SQL text stays in the SQL layer and flows
+  through the quoting helpers.
+
+Suppression is explicit and audited: inline ``# repro-lint:
+disable=RLxxx`` pragmas, or the committed ``lint-baseline.json`` whose
+every entry must carry a justification.  See DESIGN.md ("Static
+analysis") for the framework, and ``repro lint --rules`` for the
+one-line invariants.
+"""
+
+from __future__ import annotations
+
+from .baseline import PLACEHOLDER_REASON, Baseline, BaselineEntry
+from .engine import (
+    LintReport,
+    UsageError,
+    analyze_source,
+    iter_python_files,
+    iter_rule_lines,
+    render_text,
+    run_lint,
+    select_rules,
+)
+from .findings import Finding, normalize_line
+from .pragmas import PragmaIndex
+from .rules import ALL_RULES, RULES_BY_ID, rule_table
+from .visitor import FileContext, RuleVisitor
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "PLACEHOLDER_REASON",
+    "PragmaIndex",
+    "RULES_BY_ID",
+    "RuleVisitor",
+    "UsageError",
+    "analyze_source",
+    "iter_python_files",
+    "iter_rule_lines",
+    "normalize_line",
+    "render_text",
+    "rule_table",
+    "run_lint",
+    "select_rules",
+]

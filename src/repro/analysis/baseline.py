@@ -1,0 +1,165 @@
+"""The committed findings baseline: grandfather, justify, expire.
+
+A baseline entry matches findings by **fingerprint** (rule id + path +
+normalized source line), not by line number, so unrelated edits that
+move code do not churn the file.  Each entry carries:
+
+* ``count`` — how many findings share the fingerprint (one line of code
+  can violate a rule once; the same normalized line may occur N times);
+* ``reason`` — why the finding is benign.  ``--check`` refuses an
+  entry with an empty reason: a baseline is a ledger of *justified*
+  debt, not a mute button.
+
+Life cycle:
+
+* a **new** finding (no matching entry, or more findings than
+  ``count``) fails ``--check``;
+* a **stale** entry (fewer findings than ``count`` — the violation was
+  fixed, or the line changed) also fails ``--check``, with a hint to
+  run ``--update-baseline``; a baseline must shrink when the debt does;
+* ``--update-baseline`` rewrites the file from the current findings,
+  preserving the reasons of surviving entries and stamping new ones
+  with a placeholder reason to be edited by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "PLACEHOLDER_REASON"]
+
+PLACEHOLDER_REASON = "TODO: justify or fix"
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    code: str
+    count: int
+    reason: str
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.code}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "code": self.code,
+            "count": self.count,
+            "reason": self.reason,
+        }
+
+
+class Baseline:
+    """A set of grandfathered findings, loaded from / saved to JSON."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()):
+        self.entries: List[BaselineEntry] = list(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        entries = [
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                code=str(raw["code"]),
+                count=int(raw.get("count", 1)),
+                reason=str(raw.get("reason", "")),
+            )
+            for raw in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "comment": (
+                "Grandfathered `repro lint` findings. Every entry needs a "
+                "real reason; new findings must be fixed or justified here."
+            ),
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.code)
+                )
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    # -- matching --------------------------------------------------------------
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (new, suppressed) and collect stale entries.
+
+        Matching is per-fingerprint with multiplicity: an entry with
+        ``count=2`` absorbs up to two findings of that fingerprint; the
+        third is *new*.  An entry absorbing fewer than ``count`` is
+        *stale*.
+        """
+        budget: Counter[str] = Counter(
+            {entry.fingerprint: entry.count for entry in self.entries}
+        )
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            if budget[finding.fingerprint] > 0:
+                budget[finding.fingerprint] -= 1
+                suppressed.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry for entry in self.entries if budget[entry.fingerprint] > 0
+        ]
+        # entries sharing a fingerprint drain one budget pool; attribute
+        # the leftovers to the first such entry only
+        seen: Dict[str, bool] = {}
+        deduped: List[BaselineEntry] = []
+        for entry in stale:
+            if not seen.get(entry.fingerprint):
+                seen[entry.fingerprint] = True
+                deduped.append(entry)
+        return new, suppressed, deduped
+
+    def unjustified(self) -> List[BaselineEntry]:
+        """Entries with an empty or placeholder reason (``--check`` fails)."""
+        return [
+            entry
+            for entry in self.entries
+            if not entry.reason.strip() or entry.reason == PLACEHOLDER_REASON
+        ]
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], previous: "Baseline"
+    ) -> "Baseline":
+        """A fresh baseline covering *findings*, keeping known reasons."""
+        reasons = {entry.fingerprint: entry.reason for entry in previous.entries}
+        counts: Counter[str] = Counter(f.fingerprint for f in findings)
+        by_fingerprint: Dict[str, Finding] = {}
+        for finding in findings:
+            by_fingerprint.setdefault(finding.fingerprint, finding)
+        entries = [
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                code=finding.code,
+                count=counts[fingerprint],
+                reason=reasons.get(fingerprint, PLACEHOLDER_REASON),
+            )
+            for fingerprint, finding in sorted(by_fingerprint.items())
+        ]
+        return cls(entries)

@@ -1,0 +1,245 @@
+"""The lint engine: collect files, run rule packs, apply suppressions.
+
+The pipeline per file: parse → run every selected rule pack over the
+AST → drop findings suppressed by ``# repro-lint:`` pragmas.  Across
+files: sort, then split against the committed baseline into *new*
+(fail ``--check``), *baselined* (reported only at ``-v``), and *stale*
+baseline entries (also fail ``--check`` — debt must shrink with the
+code).
+
+Exit-code contract (rendered by the CLI, decided here):
+
+* ``0`` — no live findings (baseline clean or not in ``--check`` mode);
+* ``1`` — live findings, stale/unjustified baseline entries under
+  ``--check``, or files that failed to parse;
+* ``2`` — usage errors (unknown rule id, missing path) raise
+  :class:`UsageError` before any analysis runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding
+from .pragmas import PragmaIndex
+from .rules import ALL_RULES, RULES_BY_ID
+from .visitor import FileContext, RuleVisitor
+
+__all__ = [
+    "LintReport",
+    "UsageError",
+    "analyze_source",
+    "iter_python_files",
+    "run_lint",
+    "select_rules",
+]
+
+#: directory names never descended into
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules", "build"})
+
+
+class UsageError(ValueError):
+    """Bad invocation (unknown rule, missing path) — exit code 2."""
+
+
+def select_rules(rule_ids: Optional[Sequence[str]]) -> List[Type[RuleVisitor]]:
+    """Resolve ``--rule`` filters against the registry (all by default)."""
+    if not rule_ids:
+        return list(ALL_RULES)
+    selected: List[Type[RuleVisitor]] = []
+    for raw in rule_ids:
+        rule_id = raw.strip().upper()
+        rule = RULES_BY_ID.get(rule_id)
+        if rule is None:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise UsageError(f"unknown rule {raw!r} (known: {known})")
+        if rule not in selected:
+            selected.append(rule)
+    return selected
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[Path] = []
+    for path in paths:
+        if not path.exists():
+            raise UsageError(f"no such file or directory: {path}")
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    collected.append(candidate)
+        elif path.suffix == ".py":
+            collected.append(path)
+        else:
+            raise UsageError(f"not a Python file: {path}")
+    # de-duplicate while keeping order (a file passed twice, or under
+    # an also-passed parent directory)
+    seen: Dict[Path, bool] = {}
+    unique: List[Path] = []
+    for candidate in collected:
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen[resolved] = True
+            unique.append(candidate)
+    return unique
+
+
+def analyze_source(
+    path_label: str,
+    source: str,
+    rules: Optional[Sequence[Type[RuleVisitor]]] = None,
+) -> List[Finding]:
+    """Run rule packs over one in-memory source text.
+
+    This is the single entry point the file loop, the self-tests and the
+    mutation tests all share; *path_label* is used verbatim in findings
+    (and by path-sensitive rules like RL005's SQL-layer check).
+    """
+    tree = ast.parse(source, filename=path_label)
+    ctx = FileContext(path_label, source, tree)
+    for rule in rules if rules is not None else ALL_RULES:
+        rule(ctx).visit(tree)
+    pragmas = PragmaIndex(source)
+    live = [
+        finding
+        for finding in ctx.findings
+        if not pragmas.suppressed(finding.rule, finding.line)
+    ]
+    live.sort(key=lambda f: (f.line, f.col, f.rule))
+    return live
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-split for rendering."""
+
+    files_scanned: int = 0
+    #: live findings (post-pragma), split against the baseline
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_entries: List[BaselineEntry] = field(default_factory=list)
+    unjustified_entries: List[BaselineEntry] = field(default_factory=list)
+    #: ``path: message`` for files that did not parse
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Finding]:
+        """All live findings, new and baselined, in file order."""
+        merged = [*self.new, *self.baselined]
+        merged.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return merged
+
+    def failed(self, check: bool) -> bool:
+        if self.parse_errors or self.new:
+            return True
+        if check and (self.stale_entries or self.unjustified_entries):
+            return True
+        return False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_scanned": self.files_scanned,
+            "new": [finding.to_dict() for finding in self.new],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "stale_baseline_entries": [
+                entry.to_dict() for entry in self.stale_entries
+            ],
+            "unjustified_baseline_entries": [
+                entry.to_dict() for entry in self.unjustified_entries
+            ],
+            "parse_errors": list(self.parse_errors),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+
+def _relative_label(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Path] = None,
+) -> Tuple[LintReport, List[Finding]]:
+    """Lint *paths*; returns the report and the raw live findings.
+
+    The raw findings (second element) are what ``--update-baseline``
+    feeds into :meth:`Baseline.from_findings` — the report's new/
+    baselined split is for rendering and exit codes.
+    """
+    rules = select_rules(rule_ids)
+    report = LintReport()
+    all_findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        label = _relative_label(file_path, root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            findings = analyze_source(label, source, rules)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{label}: {exc.msg} (line {exc.lineno})")
+            continue
+        report.files_scanned += 1
+        all_findings.extend(findings)
+    if baseline is None:
+        baseline = Baseline()
+    new, suppressed, stale = baseline.apply(all_findings)
+    report.new = new
+    report.baselined = suppressed
+    report.stale_entries = stale
+    report.unjustified_entries = baseline.unjustified()
+    return report, all_findings
+
+
+def render_text(
+    report: LintReport, check: bool = False, verbose: bool = False
+) -> str:
+    """The human-facing report: clickable locations, summary line."""
+    lines: List[str] = []
+    for error in report.parse_errors:
+        lines.append(f"error: {error}")
+    for finding in report.new:
+        lines.append(finding.render())
+    if verbose:
+        for finding in report.baselined:
+            lines.append(f"{finding.render()} (baselined)")
+    if check:
+        for entry in report.stale_entries:
+            lines.append(
+                f"stale baseline entry: {entry.rule} {entry.path} "
+                f"`{entry.code}` — fixed or changed; run --update-baseline"
+            )
+        for entry in report.unjustified_entries:
+            lines.append(
+                f"unjustified baseline entry: {entry.rule} {entry.path} "
+                f"`{entry.code}` — write a real reason or fix the finding"
+            )
+    total = len(report.new)
+    summary = (
+        f"{report.files_scanned} file(s) scanned, "
+        f"{total} finding(s)"
+    )
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
+    if report.parse_errors:
+        summary += f", {len(report.parse_errors)} parse error(s)"
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def iter_rule_lines() -> Iterable[str]:
+    """``--rules`` output: one aligned line per rule pack."""
+    for rule in ALL_RULES:
+        yield f"{rule.rule_id}  {rule.rule_name:<20} {rule.invariant}"

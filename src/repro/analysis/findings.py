@@ -1,0 +1,59 @@
+"""Findings: what a rule reports, and how findings are identified.
+
+A :class:`Finding` is one rule violation at one source location.  Two
+identities matter:
+
+* the **location** (``path:line:col``) — what a human clicks on;
+* the **fingerprint** (rule id + path + normalized source line text) —
+  what the baseline matches on, so findings survive unrelated edits
+  that merely move a line up or down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Finding", "normalize_line"]
+
+
+def normalize_line(text: str) -> str:
+    """The baseline-stable form of a source line: stripped, one-spaced."""
+    return " ".join(text.split())
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: rule id, e.g. ``"RL001"``
+    rule_name: str  #: short slug, e.g. ``"lock-discipline"``
+    path: str  #: repo-relative posix path
+    line: int  #: 1-based line number
+    col: int  #: 1-based column number (AST col_offset + 1)
+    message: str
+    #: normalized text of the offending source line (baseline identity)
+    code: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """The baseline identity: stable across pure line moves."""
+        return f"{self.rule}::{self.path}::{self.code}"
+
+    def location(self) -> str:
+        """Clickable ``path:line:col``."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.rule} {self.message} [{self.rule_name}]"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "rule_name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "code": self.code,
+        }

@@ -1,0 +1,59 @@
+"""Suppression pragmas: ``# repro-lint: disable=RLxxx``.
+
+Two scopes:
+
+* **line** — ``# repro-lint: disable=RL001`` (or ``disable=RL001,RL005``
+  or ``disable=all``) as a trailing comment suppresses matching findings
+  on *exactly that line*;
+* **file** — ``# repro-lint: disable-file=RL005`` anywhere in the file
+  (conventionally at the top) suppresses the named rules for the whole
+  file.
+
+Pragmas are parsed from raw source text (the AST drops comments), so a
+pragma inside a string literal is technically honoured too — an accepted
+blind spot, documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+__all__ = ["PragmaIndex"]
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)\s*(?:#|$)"
+)
+
+
+def _parse_rules(spec: str) -> FrozenSet[str]:
+    return frozenset(part.strip().upper() for part in spec.split(",") if part.strip())
+
+
+class PragmaIndex:
+    """Per-file index of suppression pragmas, queried per finding."""
+
+    def __init__(self, source: str):
+        self._line_rules: Dict[int, FrozenSet[str]] = {}
+        file_rules: FrozenSet[str] = frozenset()
+        for number, line in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if match.group("scope") == "disable-file":
+                file_rules = file_rules | rules
+            else:
+                self._line_rules[number] = self._line_rules.get(
+                    number, frozenset()
+                ) | rules
+        self._file_rules = file_rules
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True when *rule* is disabled on *line* (or file-wide)."""
+        rule = rule.upper()
+        for scope in (self._file_rules, self._line_rules.get(line, frozenset())):
+            if "ALL" in scope or rule in scope:
+                return True
+        return False

@@ -1,0 +1,38 @@
+"""The built-in rule packs (RL001–RL005)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..visitor import RuleVisitor
+from .budget import BudgetThreadingRule
+from .generation import GenerationProtocolRule
+from .locking import LockDisciplineRule
+from .obs import ObsConventionsRule
+from .sql import SqlSafetyRule
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "rule_table"]
+
+ALL_RULES: List[Type[RuleVisitor]] = [
+    LockDisciplineRule,
+    GenerationProtocolRule,
+    BudgetThreadingRule,
+    ObsConventionsRule,
+    SqlSafetyRule,
+]
+
+RULES_BY_ID: Dict[str, Type[RuleVisitor]] = {
+    rule.rule_id: rule for rule in ALL_RULES
+}
+
+
+def rule_table() -> List[Dict[str, str]]:
+    """id / name / invariant of every rule pack (for ``--rules``)."""
+    return [
+        {
+            "id": rule.rule_id,
+            "name": rule.rule_name,
+            "invariant": rule.invariant,
+        }
+        for rule in ALL_RULES
+    ]

@@ -1,0 +1,259 @@
+"""RL001 lock-discipline: leaf locks, guarded attributes, COW snapshots.
+
+The concurrency layer's contract (DESIGN.md "Concurrency hardening"):
+
+* every mutable attribute that is ever written under a lock is
+  *lock-guarded* — all other writes (outside ``__init__``) must hold the
+  lock too, and multi-field reads must not be torn;
+* locks are **leaf locks** — nested acquisition is forbidden unless the
+  module declares the order in a module-level ``_LOCK_ORDER`` tuple;
+* published copy-on-write snapshots are replaced, never mutated in
+  place (an unlocked ``self._cache.clear()`` corrupts readers holding
+  the snapshot).
+
+Inference is per class and per file: an attribute becomes guarded by
+being mutated inside any ``with <lock>`` block of the class.  That is
+exactly how the codebase encodes its protocols, so the rule needs no
+annotations — but it also means a class whose every mutation is
+unlocked reports nothing (single-threaded helpers stay quiet).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..visitor import (
+    INIT_METHODS,
+    MUTATOR_METHODS,
+    FileContext,
+    RuleVisitor,
+    is_lock_expr,
+)
+
+__all__ = ["LockDisciplineRule"]
+
+#: builtins whose call over a guarded attribute copies structure — a torn
+#: read outside the lock (``len``/``sum`` are atomic enough to stay quiet)
+_AGGREGATES: FrozenSet[str] = frozenset(
+    {"dict", "list", "tuple", "set", "frozenset", "sorted"}
+)
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` → ``X`` (Load or Store context)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_attr(node: ast.AST) -> Optional[str]:
+    """The ``self.X`` attribute this statement/expression mutates, if any."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                return attr
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr is not None:
+                    return attr
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr is not None:
+                    return attr
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in MUTATOR_METHODS:
+            return _self_attr(node.func.value)
+    return None
+
+
+def _function_of(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Optional[str]:
+    """Name of the innermost function containing *node*."""
+    current: Optional[ast.AST] = node
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current.name
+        current = parents.get(current)
+    return None
+
+
+class LockDisciplineRule(RuleVisitor):
+    rule_id = "RL001"
+    rule_name = "lock-discipline"
+    invariant = (
+        "attributes ever mutated under a lock are only mutated (and only "
+        "aggregate-read) while holding it; locks are leaf locks unless the "
+        "module declares a _LOCK_ORDER; copy-on-write snapshots are swapped, "
+        "never mutated in place"
+    )
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        #: guarded attribute names of the class currently being walked
+        self._guarded: List[Set[str]] = []
+        #: attrs that are COW-swapped (assigned a fresh container under lock)
+        self._cow: List[Set[str]] = []
+        self._declared_order = self.ctx.lock_order()
+
+    # -- per-class inference ---------------------------------------------------
+
+    def enter_class(self, node: ast.ClassDef) -> None:
+        guarded: Set[str] = set()
+        cow: Set[str] = set()
+        for with_node in ast.walk(node):
+            if not isinstance(with_node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(is_lock_expr(item.context_expr) for item in with_node.items):
+                continue
+            if _function_of(with_node, self.ctx.parents) in INIT_METHODS:
+                continue
+            for child in ast.walk(with_node):
+                attr = _mutated_attr(child)
+                if attr is not None:
+                    guarded.add(attr)
+                if isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        name = _self_attr(target)
+                        if name is not None and isinstance(
+                            child.value, (ast.Dict, ast.List, ast.Set)
+                        ):
+                            cow.add(name)
+        self._guarded.append(guarded)
+        self._cow.append(cow)
+
+    def leave_class(self, node: ast.ClassDef) -> None:
+        self._guarded.pop()
+        self._cow.pop()
+
+    @property
+    def _guarded_attrs(self) -> Set[str]:
+        return self._guarded[-1] if self._guarded else set()
+
+    # -- checks ----------------------------------------------------------------
+
+    @property
+    def _in_repr(self) -> bool:
+        """Diagnostics (`__repr__`/`__str__`) may read approximately."""
+        current = self.current_function
+        return current is not None and current.name in {"__repr__", "__str__"}
+
+    def _check_mutation(self, node: ast.AST) -> None:
+        if self.in_lock or self.in_init or not self._guarded:
+            return
+        attr = _mutated_attr(node)
+        if attr is None or attr not in self._guarded_attrs:
+            return
+        if attr in self._cow[-1] and isinstance(node, ast.Call):
+            self.report(
+                node,
+                f"in-place mutation of copy-on-write snapshot `self.{attr}` "
+                "outside its lock; swap in a fresh container under the lock "
+                "instead",
+            )
+        else:
+            self.report(
+                node,
+                f"mutation of lock-guarded attribute `self.{attr}` outside "
+                "a `with <lock>` scope",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_mutation(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_mutation(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_mutation(node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        self._check_mutation(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_mutation(node)
+        # aggregate (torn) read: dict(self._stats) outside the lock copies
+        # a structure another thread is mutating field-by-field
+        if (
+            not self.in_lock
+            and not self.in_init
+            and not self._in_repr
+            and self._guarded
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _AGGREGATES
+            and len(node.args) == 1
+        ):
+            attr = _self_attr(node.args[0])
+            if attr is not None and attr in self._guarded_attrs:
+                self.report(
+                    node,
+                    f"aggregate read of lock-guarded `self.{attr}` outside "
+                    "its lock (torn read); snapshot it under the lock",
+                )
+        self.generic_visit(node)
+
+    # multi-attribute reads: one expression reading two guarded fields
+    # outside the lock observes them at different instants
+    def _check_torn_expression(self, node: ast.stmt, value: ast.AST) -> None:
+        if self.in_lock or self.in_init or self._in_repr or not self._guarded:
+            return
+        guarded = self._guarded_attrs
+        read: Set[str] = set()
+        for child in ast.walk(value):
+            if isinstance(child, ast.Attribute) and isinstance(
+                child.ctx, ast.Load
+            ):
+                attr = _self_attr(child)
+                if attr is not None and attr in guarded:
+                    read.add(attr)
+        if len(read) >= 2:
+            names = ", ".join(sorted(f"self.{attr}" for attr in read))
+            self.report(
+                node,
+                f"reads {names} in one expression outside their lock "
+                "(values may be torn); read a consistent snapshot instead",
+            )
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self._check_torn_expression(node, node.value)
+        self.generic_visit(node)
+
+    # -- leaf-lock / declared-order nesting ------------------------------------
+
+    def enter_lock(self, node: ast.With, lock_texts: List[str]) -> None:
+        if not self.lock_stack:
+            return
+        outer = self.lock_stack[-1]
+        for inner in lock_texts:
+            if inner == outer:
+                continue  # re-entrant acquisition of the same RLock
+            if (
+                outer in self._declared_order
+                and inner in self._declared_order
+                and self._declared_order.index(outer)
+                < self._declared_order.index(inner)
+            ):
+                continue
+            self.report(
+                node,
+                f"nested lock acquisition `{inner}` while holding `{outer}` "
+                "violates leaf-lock discipline (declare the order in a "
+                "module-level _LOCK_ORDER if intentional)",
+            )
+
+    def __repr__(self) -> str:
+        return f"<{self.rule_id} {self.rule_name} guarded={self._guarded_attrs}>"

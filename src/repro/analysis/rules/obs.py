@@ -1,0 +1,170 @@
+"""RL004 obs-conventions: metrics naming, span discipline, library logging.
+
+The observability layer's conventions (DESIGN.md):
+
+* metric names are dot-separated ``component.object.event`` paths —
+  lower-case, at least three segments, no wall-clock or per-run
+  material (the registry aggregates across runs by name);
+* tracer spans are always opened as context managers (``with
+  tracer.span(...) as span:``) so error/timeout status and end times
+  are recorded even on the exception path;
+* importing the library must never configure global logging — handlers
+  are installed by applications (or :func:`repro.obs.logging.configure`),
+  the package root carries only a ``NullHandler``;
+* public APIs take no mutable default arguments (a shared ``[]``/
+  ``{}`` default is cross-call, cross-tenant state).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import FrozenSet
+
+from ..visitor import RuleVisitor, terminal_name
+
+__all__ = ["ObsConventionsRule"]
+
+#: ``component.object.event`` — three or more lowercase dotted segments
+_METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){2,}$")
+
+_INSTRUMENT_METHODS: FrozenSet[str] = frozenset({"counter", "gauge", "histogram"})
+
+_MUTABLE_DEFAULT_CALLS: FrozenSet[str] = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter"}
+)
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        name = terminal_name(node.func)
+        return name in _MUTABLE_DEFAULT_CALLS
+    return False
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+class ObsConventionsRule(RuleVisitor):
+    rule_id = "RL004"
+    rule_name = "obs-conventions"
+    invariant = (
+        "metric names are lowercase `component.object.event` paths; spans "
+        "are opened with `with`; no logging handler is installed at import "
+        "time; public APIs take no mutable default arguments"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_metric_name(node)
+        self._check_span(node)
+        self._check_import_time_logging(node)
+        self.generic_visit(node)
+
+    # -- metric naming ---------------------------------------------------------
+
+    def _check_metric_name(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _INSTRUMENT_METHODS:
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) or not isinstance(first.value, str):
+            return  # dynamic names are a documented blind spot
+        name = first.value
+        if not _METRIC_NAME.match(name):
+            self.report(
+                first,
+                f"metric name {name!r} does not follow the "
+                "`component.object.event` convention (>= 3 lowercase "
+                "dot-separated segments)",
+            )
+
+    # -- span discipline -------------------------------------------------------
+
+    def _check_span(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "span":
+            return
+        # only tracer-ish receivers: `current_tracer().span(...)`,
+        # `tracer.span(...)`, `self._tracer.span(...)`
+        receiver = terminal_name(func.value)
+        if receiver is None or "tracer" not in receiver.lower():
+            return
+        if not self.is_with_context(node):
+            self.report(
+                node,
+                "tracer span opened without a `with` context manager; the "
+                "span would never close on the exception path",
+            )
+
+    # -- import-time logging ---------------------------------------------------
+
+    def _check_import_time_logging(self, node: ast.Call) -> None:
+        if not self.at_module_level:
+            return
+        func = node.func
+        name = terminal_name(func)
+        if name == "basicConfig":
+            self.report(
+                node,
+                "logging.basicConfig(...) at import time configures the "
+                "root logger for every embedding application; configure "
+                "inside repro.obs.logging.configure() instead",
+            )
+            return
+        if name == "addHandler":
+            handler = node.args[0] if node.args else None
+            if handler is not None and self._is_null_handler(handler):
+                return  # the sanctioned library posture
+            self.report(
+                node,
+                "logging handler installed at import time; libraries must "
+                "only install NullHandler (see repro.obs.logging)",
+            )
+
+    @staticmethod
+    def _is_null_handler(node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            name = terminal_name(node.func)
+            return name == "NullHandler"
+        return False
+
+    # -- mutable defaults ------------------------------------------------------
+
+    def _check_defaults(self, node: ast.FunctionDef) -> None:
+        if not _is_public(node.name):
+            return
+        enclosing = self.current_class
+        if enclosing is not None and not _is_public(enclosing.name):
+            return
+        args = node.args
+        annotated = [*args.posonlyargs, *args.args]
+        positional_defaults = args.defaults
+        offset = len(annotated) - len(positional_defaults)
+        for index, default in enumerate(positional_defaults):
+            if _is_mutable_default(default):
+                name = annotated[offset + index].arg
+                self._report_default(default, node.name, name)
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None and _is_mutable_default(kw_default):
+                self._report_default(kw_default, node.name, arg.arg)
+
+    def _report_default(
+        self, node: ast.AST, function: str, argument: str
+    ) -> None:
+        self.report(
+            node,
+            f"mutable default argument `{argument}` of public API "
+            f"`{function}(...)` is shared across calls; default to None "
+            "and construct inside",
+        )
+
+    def enter_function(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._check_defaults(node)  # type: ignore[arg-type]

@@ -1,0 +1,217 @@
+"""RL005 sql-safety: SQL text is built in the SQL layer, through helpers.
+
+Two invariants:
+
+* **layer confinement** — SQL text is hand-rendered only inside
+  ``repro/obda/sql/`` (``render.py``'s ``_identifier``/``_column``/
+  ``_literal`` and ``backends.py``'s ``_quote``); any other module
+  interpolating into SQL-keyword-bearing text is bypassing the one
+  place where quoting is audited;
+* **helper provenance** — inside the SQL layer, every value
+  interpolated into SQL text must come from a quoting helper, a
+  renderer call, or a literal-derived local.  Interpolating a raw
+  parameter or a data attribute (``f"SELECT * FROM {table_name}"``)
+  reintroduces the identifier-injection class that conditional quoting
+  closed.
+
+The provenance analysis is an intra-function taint check: constants,
+calls (assumed to be vetted fragment builders — helpers and renderers),
+and locals assigned only from safe expressions are safe; parameters,
+attributes and subscripted data are not.  ``%``/``str.format`` into SQL
+text is flagged everywhere — the layer's convention is f-strings over
+helper results, which this rule can actually see through.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set
+
+from ..visitor import RuleVisitor, expr_text
+
+__all__ = ["SqlSafetyRule"]
+
+#: uppercase statement-starter keywords that mark a string as SQL text.
+#: Weak keywords (FROM/WHERE/UNION/EXISTS/VALUES alone) are deliberately
+#: not triggers: they appear in logic pretty-printers (`EXISTS x. φ`) and
+#: in fragment builders whose enclosing statement already triggers.
+_SQL_KEYWORDS = re.compile(
+    r"\b(SELECT|INSERT INTO|DELETE FROM|CREATE TABLE|CREATE INDEX|"
+    r"DROP TABLE|ALTER TABLE|ATTACH DATABASE|UPDATE\s+[\w%{]|PRAGMA\s+[\w%{])"
+)
+
+#: path fragments marking the sanctioned SQL-rendering layer
+_SQL_LAYER = ("obda/sql/",)
+
+
+def _in_sql_layer(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized for fragment in _SQL_LAYER)
+
+
+def _literal_text(node: ast.JoinedStr) -> str:
+    return "".join(
+        part.value
+        for part in node.values
+        if isinstance(part, ast.Constant) and isinstance(part.value, str)
+    )
+
+
+class _Provenance:
+    """Intra-function safety of names: local, assigned only from safe."""
+
+    def __init__(self, function: Optional[ast.AST]):
+        self.assignments: Dict[str, List[ast.AST]] = {}
+        self.params: Set[str] = set()
+        if function is None:
+            return
+        args = getattr(function, "args", None)
+        if args is not None:
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                self.params.add(arg.arg)
+        for child in ast.walk(function):
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        self.assignments.setdefault(target.id, []).append(
+                            child.value
+                        )
+            elif isinstance(child, ast.AugAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                self.assignments.setdefault(child.target.id, []).append(
+                    child.value
+                )
+            elif isinstance(child, (ast.For, ast.comprehension)):
+                # a loop target inherits the safety of its iterable:
+                # `for i in range(n)` / `for s in ("t", "n")` are safe,
+                # `for row in rows` is as (un)safe as `rows`
+                for name_node in ast.walk(child.target):
+                    if isinstance(name_node, ast.Name):
+                        self.assignments.setdefault(name_node.id, []).append(
+                            child.iter
+                        )
+
+    def safe_name(self, name: str, _seen: Optional[Set[str]] = None) -> bool:
+        seen = _seen or set()
+        if name in seen:
+            return True  # self-referential accumulation (s = s + ...)
+        seen.add(name)
+        if name in self.params and name not in self.assignments:
+            return False
+        sources = self.assignments.get(name)
+        if sources is None:
+            # unknown: module-level constant or builtin — trust it; the
+            # cross-module blind spot is documented
+            return name not in self.params
+        return all(self.safe_expr(source, seen) for source in sources)
+
+    def safe_expr(self, node: ast.AST, _seen: Optional[Set[str]] = None) -> bool:
+        seen = _seen if _seen is not None else set()
+        if isinstance(node, ast.Constant):
+            return True
+        if isinstance(node, ast.Call):
+            # calls are vetted fragment builders: quoting helpers,
+            # renderer methods, ", ".join(...) aggregations
+            return True
+        if isinstance(node, ast.Name):
+            return self.safe_name(node.id, seen)
+        if isinstance(node, ast.JoinedStr):
+            return all(
+                self.safe_expr(part.value, seen)
+                for part in node.values
+                if isinstance(part, ast.FormattedValue)
+            )
+        if isinstance(node, ast.FormattedValue):
+            return self.safe_expr(node.value, seen)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Mod)
+        ):
+            return self.safe_expr(node.left, seen) and self.safe_expr(
+                node.right, seen
+            )
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return all(self.safe_expr(element, seen) for element in node.elts)
+        if isinstance(node, ast.Subscript):
+            return self.safe_expr(node.value, seen)
+        if isinstance(node, ast.IfExp):
+            return self.safe_expr(node.body, seen) and self.safe_expr(
+                node.orelse, seen
+            )
+        # attributes, parameters, comprehension elements, everything else:
+        # data, not vetted SQL fragments
+        return False
+
+
+class SqlSafetyRule(RuleVisitor):
+    rule_id = "RL005"
+    rule_name = "sql-safety"
+    invariant = (
+        "SQL text is interpolated only inside repro/obda/sql/, and only "
+        "from quoting-helper/renderer results — never from raw parameters "
+        "or data attributes; %/.format into SQL text is always flagged"
+    )
+
+    def _provenance(self) -> _Provenance:
+        return _Provenance(self.current_function)
+
+    # -- f-strings -------------------------------------------------------------
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        literal = _literal_text(node)
+        if _SQL_KEYWORDS.search(literal):
+            interpolations = [
+                part for part in node.values if isinstance(part, ast.FormattedValue)
+            ]
+            if interpolations and not _in_sql_layer(self.ctx.path):
+                self.report(
+                    node,
+                    "SQL text interpolated outside the SQL layer "
+                    "(repro/obda/sql/); route identifiers through "
+                    "render.py's quoting helpers",
+                )
+            elif interpolations:
+                provenance = self._provenance()
+                for part in interpolations:
+                    if not provenance.safe_expr(part.value):
+                        self.report(
+                            part.value,
+                            f"`{expr_text(part.value)}` interpolated into "
+                            "SQL text without passing through a quoting "
+                            "helper (conditional-quoting bypass)",
+                        )
+        self.generic_visit(node)
+
+    # -- %-format and str.format ----------------------------------------------
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Mod):
+            left = node.left
+            if (
+                isinstance(left, ast.Constant)
+                and isinstance(left.value, str)
+                and _SQL_KEYWORDS.search(left.value)
+            ):
+                self.report(
+                    node,
+                    "%-formatting into SQL text; use an f-string over "
+                    "quoting-helper results so provenance stays checkable",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "format"
+            and isinstance(func.value, ast.Constant)
+            and isinstance(func.value.value, str)
+            and _SQL_KEYWORDS.search(func.value.value)
+        ):
+            self.report(
+                node,
+                "str.format(...) into SQL text; use an f-string over "
+                "quoting-helper results so provenance stays checkable",
+            )
+        self.generic_visit(node)

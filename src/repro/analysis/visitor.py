@@ -1,0 +1,299 @@
+"""The shared rule-visitor framework.
+
+Every rule pack is an :class:`ast.NodeVisitor` subclass of
+:class:`RuleVisitor`, which maintains the context all of the invariant
+checks need while walking one file:
+
+* the **class and function stacks** (who am I inside?);
+* the **lock stack** — the rendered expressions of every ``with``-item
+  currently held that *looks like* a lock acquisition
+  (``with self._lock:``, ``with lock:``, ``with self._sync_lock():``);
+* a **parent map**, so rules can ask "is this call the context
+  expression of a ``with`` item?";
+* rendered-source helpers (:func:`expr_text`, :func:`terminal_name`).
+
+Rules override the ``enter_*``/``leave_*`` hooks and the plain
+``visit_*`` methods (calling ``self.generic_visit(node)`` to keep the
+walk going) and report through :meth:`RuleVisitor.report`.
+
+Known blind spots (by design, see DESIGN.md): the framework analyzes one
+file at a time (no cross-module call graph), recognizes locks by naming
+convention, and does not track aliasing through containers or object
+attributes assigned elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, ClassVar, Dict, FrozenSet, Iterator, List, Optional, Type
+
+from .findings import Finding, normalize_line
+
+__all__ = [
+    "FileContext",
+    "RuleVisitor",
+    "attr_chain",
+    "expr_text",
+    "is_lock_expr",
+    "iter_child_statements",
+    "terminal_name",
+]
+
+#: Function names whose attribute writes are construction, not mutation.
+INIT_METHODS: FrozenSet[str] = frozenset(
+    {"__init__", "__post_init__", "__new__", "__init_subclass__", "__set_name__"}
+)
+
+#: In-place container mutators: calling one of these on a lock-guarded
+#: attribute outside the lock is a mutation, same as assignment.
+MUTATOR_METHODS: FrozenSet[str] = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def expr_text(node: ast.AST) -> str:
+    """The rendered source of *node* (``ast.unparse``, defensive)."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed synthetic nodes
+        return ast.dump(node)
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a name/attribute/call chain.
+
+    ``self._lock`` → ``_lock``; ``self._sync_lock()`` → ``_sync_lock``;
+    ``lock`` → ``lock``; anything else → ``None``.
+    """
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted text for a pure name/attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_lock_expr(node: ast.AST) -> bool:
+    """Does this ``with``-item context expression acquire a lock?
+
+    By convention every lock in the codebase has ``lock`` in its terminal
+    identifier (``self._lock``, ``_LIVE_STATS_LOCK``,
+    ``self._sync_lock()``); condition variables and semaphores are not
+    matched on purpose — they guard waiting, not state.
+    """
+    name = terminal_name(node)
+    return name is not None and "lock" in name.lower()
+
+
+def iter_child_statements(node: ast.AST) -> Iterator[ast.stmt]:
+    """Direct statement children of a block-bearing node."""
+    for field_name in ("body", "orelse", "finalbody", "handlers"):
+        for child in getattr(node, field_name, []) or []:
+            if isinstance(child, ast.ExceptHandler):
+                yield from child.body
+            elif isinstance(child, ast.stmt):
+                yield child
+
+
+class FileContext:
+    """Everything the rules need to know about one parsed file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.findings: List[Finding] = []
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def lock_order(self) -> List[str]:
+        """The module's declared ``_LOCK_ORDER`` (outer locks first).
+
+        A module that must nest locks declares the legal acquisition
+        order as a module-level tuple of rendered lock expressions::
+
+            _LOCK_ORDER = ("self._lock", "counter._lock")
+
+        Nested acquisitions consistent with the declaration pass RL001;
+        everything else is a leaf-lock violation.
+        """
+        for statement in self.tree.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "_LOCK_ORDER":
+                    value = statement.value
+                    if isinstance(value, (ast.Tuple, ast.List)):
+                        return [
+                            element.value
+                            for element in value.elts
+                            if isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)
+                        ]
+        return []
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Base class of every rule pack (one instance per rule per file)."""
+
+    rule_id: ClassVar[str] = "RL000"
+    rule_name: ClassVar[str] = "base"
+    #: one-line statement of the invariant, rendered by ``repro lint --rules``
+    invariant: ClassVar[str] = ""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.class_stack: List[ast.ClassDef] = []
+        self.func_stack: List[ast.AST] = []
+        self.lock_stack: List[str] = []
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        self.ctx.findings.append(
+            Finding(
+                rule=self.rule_id,
+                rule_name=self.rule_name,
+                path=self.ctx.path,
+                line=line,
+                col=col,
+                message=message,
+                code=normalize_line(self.ctx.line_text(line)),
+            )
+        )
+
+    # -- context queries -------------------------------------------------------
+
+    @property
+    def in_lock(self) -> bool:
+        return bool(self.lock_stack)
+
+    @property
+    def in_init(self) -> bool:
+        current = self.current_function
+        return current is not None and current.name in INIT_METHODS
+
+    @property
+    def current_function(self) -> Optional[ast.FunctionDef]:
+        for node in reversed(self.func_stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node  # type: ignore[return-value]
+        return None
+
+    @property
+    def current_class(self) -> Optional[ast.ClassDef]:
+        return self.class_stack[-1] if self.class_stack else None
+
+    @property
+    def at_module_level(self) -> bool:
+        return not self.func_stack
+
+    def is_with_context(self, call: ast.AST) -> bool:
+        """Is *call* the context expression of a ``with`` item?"""
+        parent = self.ctx.parent(call)
+        return isinstance(parent, ast.withitem) and parent.context_expr is call
+
+    # -- hooks (override in rules; default no-op) ------------------------------
+
+    def enter_class(self, node: ast.ClassDef) -> None:
+        """Called before a class body is walked."""
+
+    def leave_class(self, node: ast.ClassDef) -> None:
+        """Called after a class body was walked."""
+
+    def enter_function(self, node: ast.AST) -> None:
+        """Called before a function body is walked."""
+
+    def leave_function(self, node: ast.AST) -> None:
+        """Called after a function body was walked."""
+
+    def enter_lock(self, node: ast.With, lock_texts: List[str]) -> None:
+        """Called when a ``with`` statement acquires one or more locks."""
+
+    # -- bookkeeping traversal -------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node)
+        self.enter_class(node)
+        self.generic_visit(node)
+        self.leave_class(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self.func_stack.append(node)
+        self.enter_function(node)
+        self.generic_visit(node)
+        self.leave_function(node)
+        self.func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_function(node)
+
+    def _visit_with(self, node: Any) -> None:
+        lock_texts = [
+            expr_text(item.context_expr)
+            for item in node.items
+            if is_lock_expr(item.context_expr)
+        ]
+        if lock_texts and isinstance(node, ast.With):
+            self.enter_lock(node, lock_texts)
+        self.lock_stack.extend(lock_texts)
+        self.generic_visit(node)
+        for _ in lock_texts:
+            self.lock_stack.pop()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+
+def instantiate(rule: Type[RuleVisitor], ctx: FileContext) -> RuleVisitor:
+    """Build one rule instance for one file (typed helper for the engine)."""
+    return rule(ctx)

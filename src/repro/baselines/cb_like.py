@@ -109,7 +109,8 @@ class ConsequenceBasedReasoner(Reasoner):
         subsumptions = set()
         for node_id in concept_ids:
             mask = closure[node_id]
-            while mask:
+            # One iteration per set bit — bounded by the node count.
+            while mask:  # repro-lint: disable=RL003
                 low = mask & -mask
                 superior_id = low.bit_length() - 1
                 mask ^= low

@@ -208,7 +208,9 @@ class _TableauBase(Reasoner):
     def _label_oracle(self, index: _AxiomIndex, watch):
         raise NotImplementedError
 
-    def _subsumption_test(self, label: Set, rhs, watch) -> bool:
+    # Hook signature carries `watch` for overrides that expand lazily;
+    # this base implementation is a single O(1) membership test.
+    def _subsumption_test(self, label: Set, rhs, watch) -> bool:  # repro-lint: disable=RL003
         """``lhs ⊑ rhs`` given lhs's expanded label (clash with ¬rhs?)."""
         return rhs in label
 

@@ -162,10 +162,10 @@ def _cmd_diff(args) -> int:
     return 0
 
 
-def _cmd_lint(args) -> int:
+def _lint_ontology(path: str) -> int:
     from .obda.mapping_analysis import analyze_mappings  # noqa: F401 (re-export check)
 
-    tbox = load_ontology_file(args.ontology)
+    tbox = load_ontology_file(path)
     from .core import GraphClassifier
 
     classification = GraphClassifier().classify(tbox)
@@ -187,6 +187,68 @@ def _cmd_lint(args) -> int:
     if problems == 0:
         print("no issues found")
     return 1 if unsat else 0
+
+
+def _cmd_lint(args) -> int:
+    """Dispatch: Python targets → invariant lint, ontology file → design lint.
+
+    Code-lint exit codes: 0 clean, 1 findings (or, under ``--check``,
+    stale/unjustified baseline entries), 2 usage errors.
+    """
+    from .analysis import (
+        Baseline,
+        UsageError,
+        iter_rule_lines,
+        render_text,
+        run_lint,
+    )
+
+    if args.rules:
+        for line in iter_rule_lines():
+            print(line)
+        return 0
+    if not args.target:
+        print(
+            "lint: provide Python files/directories or an ontology file",
+            file=sys.stderr,
+        )
+        return 2
+    targets = [Path(raw) for raw in args.target]
+    code_flags = args.check or args.json or args.update_baseline or args.rule
+    code_mode = any(
+        target.suffix == ".py" or target.is_dir() for target in targets
+    )
+    if not code_mode and not code_flags:
+        if len(targets) != 1:
+            print("lint: one ontology file at a time", file=sys.stderr)
+            return 2
+        return _lint_ontology(str(targets[0]))
+
+    baseline_path = Path(args.baseline)
+    baseline = Baseline.load(baseline_path)
+    try:
+        report, raw_findings = run_lint(
+            targets,
+            rule_ids=args.rule or None,
+            baseline=baseline,
+            root=Path.cwd(),
+        )
+    except UsageError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        refreshed = Baseline.from_findings(raw_findings, baseline)
+        refreshed.save(baseline_path)
+        print(f"wrote {baseline_path} ({len(refreshed.entries)} entries)")
+        return 0
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print(
+            render_text(report, check=args.check, verbose=bool(args.verbose)),
+            end="",
+        )
+    return 1 if report.failed(check=args.check) else 0
 
 
 def _cmd_corpus(args) -> int:
@@ -583,8 +645,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.set_defaults(handler=_cmd_diff)
 
-    lint = commands.add_parser("lint", help="design-quality checks on an ontology")
-    lint.add_argument("ontology")
+    lint = commands.add_parser(
+        "lint",
+        help="invariant lint on Python sources (RL001–RL005), or "
+        "design-quality checks on an ontology file",
+    )
+    lint.add_argument(
+        "target",
+        nargs="*",
+        help="Python files/directories (code lint) or one ontology file",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="RLxxx",
+        help="run only these rule packs (repeatable)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    lint.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on new findings and on stale or unjustified baseline "
+        "entries (CI gate)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="grandfathered-findings file (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings, keeping "
+        "existing justifications",
+    )
+    lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the rule packs and their invariants, then exit",
+    )
     lint.set_defaults(handler=_cmd_lint)
 
     corpus = commands.add_parser("corpus", help="emit a Figure 1 benchmark ontology")

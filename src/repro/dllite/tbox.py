@@ -200,7 +200,8 @@ class TBox:
 
     @property
     def axioms(self) -> Tuple[Axiom, ...]:
-        return tuple(self._axioms)
+        with self._lock:
+            return tuple(self._axioms)
 
     @property
     def concept_inclusions(self) -> List[ConceptInclusion]:
@@ -248,18 +249,19 @@ class TBox:
 
     def stats(self) -> Dict[str, int]:
         """Size statistics, used by the corpus profiles and the benchmarks."""
-        return {
-            "concepts": len(self.signature.concepts),
-            "roles": len(self.signature.roles),
-            "attributes": len(self.signature.attributes),
-            "axioms": len(self._axioms),
-            "positive_inclusions": len(self.positive_inclusions),
-            "negative_inclusions": len(self.negative_inclusions),
-            "concept_inclusions": len(self.concept_inclusions),
-            "role_inclusions": len(self.role_inclusions),
-            "attribute_inclusions": len(self.attribute_inclusions),
-            "functionality": len(self.functionality_assertions),
-        }
+        with self._lock:
+            return {
+                "concepts": len(self.signature.concepts),
+                "roles": len(self.signature.roles),
+                "attributes": len(self.signature.attributes),
+                "axioms": len(self._axioms),
+                "positive_inclusions": len(self.positive_inclusions),
+                "negative_inclusions": len(self.negative_inclusions),
+                "concept_inclusions": len(self.concept_inclusions),
+                "role_inclusions": len(self.role_inclusions),
+                "attribute_inclusions": len(self.attribute_inclusions),
+                "functionality": len(self.functionality_assertions),
+            }
 
     def __repr__(self) -> str:
         return f"TBox({self.name!r}, {len(self)} axioms, {self.signature!r})"

@@ -79,7 +79,11 @@ class ExtentProvider:
         ``dict.setdefault`` is atomic under the GIL, so two racing
         first-callers agree on one lock object.
         """
-        return self.__dict__.setdefault("_provider_lock", threading.RLock())
+        # The bootstrap cannot hold the lock it is creating; the GIL
+        # atomicity above is the whole synchronization story here.
+        return self.__dict__.setdefault(  # repro-lint: disable=RL001
+            "_provider_lock", threading.RLock()
+        )
 
     def invalidate(self) -> None:
         """Drop cached indexes (subclasses also drop cached extents)."""
@@ -323,7 +327,9 @@ def evaluate_cq(
     ordered: List[Tuple[Atom, Set[Tuple]]] = []
     remaining = list(atom_rows)
     bound_vars: Set[Variable] = set()
-    while remaining:
+    # One iteration per query atom — bounded by the (small) query size,
+    # not by data; the per-row budget polls happen in the join below.
+    while remaining:  # repro-lint: disable=RL003
         def rank(item):
             atom, rows = item
             connected = bool(atom.variables() & bound_vars) if bound_vars else True

@@ -696,7 +696,8 @@ class SqliteBackend:
             if budget is not None:
                 budget.tick(stride=2048)
             answers.add(assemblers[row[-1]](row))
-        self._stats["executions"] += 1
+        with self._lock:
+            self._stats["executions"] += 1
         metrics.counter("backend.sqlite.executions").inc()
         metrics.histogram("backend.sqlite.execute_s").observe(execute_s)
         metrics.histogram("backend.sqlite.load_s").observe(load_s)

@@ -69,9 +69,11 @@ class Database:
         try:
             return self._tables[name]
         except KeyError:
+            with self._lock:
+                known = ", ".join(sorted(self._tables)) or "none"
             raise MappingError(
                 f"database {self.name!r} has no table {name!r} "
-                f"(tables: {', '.join(sorted(self._tables)) or 'none'})"
+                f"(tables: {known})"
             ) from None
 
     def __getitem__(self, name: str) -> Table:

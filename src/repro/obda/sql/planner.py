@@ -201,6 +201,8 @@ class TableScanNode(PlanNode):
         self.statistics = statistics
 
     def _execute(self, database, catalog, budget, observed):
+        if budget is not None:
+            budget.check()
         table = database.table(self.table)
         return ResultSet(self.columns, list(table.rows))
 

@@ -265,8 +265,8 @@ class OBDASystem:
             "unfolding": self._unfolding_cache.stats.to_dict(),
             "answers": self._answer_cache.stats.to_dict(),
         }
-        stats["pruning"] = dict(self.pruning_stats)
         with self._lock:
+            stats["pruning"] = dict(self.pruning_stats)
             stats["planner"] = dict(self.planner_stats)
         provider = self._shared_extents
         if isinstance(provider, MappingExtents):

@@ -29,6 +29,11 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, Optional
 
+#: Declared lock-acquisition order (outermost first): ``reset()`` nests
+#: the per-instrument leaf locks inside the registry lock.  No instrument
+#: method ever acquires the registry lock, so the order is acyclic.
+_LOCK_ORDER = ("self._lock", "counter._lock", "histogram._lock")
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -107,7 +112,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> Dict[str, object]:
         with self._lock:

@@ -90,13 +90,16 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        with self._lock:
+            return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
         """Hits per lookup in [0, 1]; 0.0 when the cache was never read."""
-        lookups = self.lookups
-        return self.hits / lookups if lookups else 0.0
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
 
     def snapshot(self) -> Tuple[int, int, int, int]:
         """A consistent ``(hits, misses, evictions, invalidations)`` read."""

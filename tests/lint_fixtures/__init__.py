@@ -1,0 +1,9 @@
+"""Planted-violation corpora for the ``repro.analysis`` self-tests.
+
+Each ``rlXXX_violations.py`` module plants the exact protocol breaches
+its rule pack must catch (every planted line is tagged ``# <- RLxxx``);
+each ``rlXXX_clean.py`` module writes the same logic following the
+protocol, and must lint clean.  These files are *data*, not code under
+test — they are never imported by the runtime and are excluded from
+style tooling.
+"""

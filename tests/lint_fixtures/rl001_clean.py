@@ -1,0 +1,53 @@
+"""RL001 clean counterpart: the same logic, holding its locks."""
+
+import threading
+
+_LOCK_ORDER = ("self._lock", "other._lock")
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self._cache = {}
+
+    def record_hit(self):
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self):
+        with self._lock:
+            self.misses += 1
+
+    def guarded_store(self, key, value):
+        with self._lock:
+            self._cache[key] = value
+
+    def swap_snapshot(self):
+        with self._lock:
+            self._cache = {}
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._cache)
+
+    def ratio(self):
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        return hits / (hits + misses) if hits + misses else 0.0
+
+
+class Nested:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self):
+        with self._lock:
+            self.total += 1
+
+    def drain(self, other):
+        with self._lock:
+            with other._lock:  # ordered by the module-level _LOCK_ORDER
+                self.total += other.total

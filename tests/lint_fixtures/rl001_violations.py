@@ -1,0 +1,54 @@
+"""RL001 planted violations: every breach of the lock discipline."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self._cache = {}
+
+    def record_hit(self):
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self):
+        with self._lock:
+            self.misses += 1
+
+    def refresh(self):
+        with self._lock:
+            self._cache = {}  # published copy-on-write snapshot
+
+    def unguarded_bump(self):
+        self.hits += 1  # <- RL001 mutation outside the lock
+
+    def unguarded_store(self, key, value):
+        self._cache[key] = value  # <- RL001 subscript store outside the lock
+
+    def corrupt_snapshot(self):
+        self._cache.clear()  # <- RL001 in-place mutation of COW snapshot
+
+    def torn_copy(self):
+        return dict(self._cache)  # <- RL001 aggregate read outside the lock
+
+    def torn_ratio(self):
+        return self.hits / (self.hits + self.misses)  # <- RL001 torn read
+
+
+class Nested:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inner = Counter()
+        self.total = 0
+
+    def bump(self):
+        with self._lock:
+            self.total += 1
+
+    def drain(self, other):
+        with self._lock:
+            with other._lock:  # <- RL001 nested lock without _LOCK_ORDER
+                self.total += other.total

@@ -1,0 +1,55 @@
+"""RL002 clean counterpart: bracketed, stamped, assignment-installed."""
+
+import threading
+
+
+class StatisticsCatalog:
+    def __init__(self, provider):
+        self._provider = provider
+        self._lock = threading.Lock()
+        self._index_cache = {}
+        self._memo = {}
+
+    def assignment_install(self, key):
+        """The PR-7 fix: assignment replaces a stale-generation entry."""
+        generation = self._provider.generation()
+        state = self._index_cache.get(key)
+        if state is not None and state[0] == generation:
+            return state[1]
+        index = self._build(key)
+        self._index_cache[key] = (generation, index)
+        return index
+
+    def bracketed_install(self, key):
+        generation = self._provider.generation()
+        rows = self._compute(key, generation)
+        if self._provider.generation() == generation:
+            self._memo[key] = rows
+        return rows
+
+    def stamped_key(self, predicate, arity):
+        generation = self._provider.generation()
+        rows = self._scan(predicate, arity, generation)
+        key = (predicate, arity, generation)
+        self._memo[key] = rows
+        return rows
+
+    def guarded_setdefault(self, key):
+        """Single-flight install: legal because the snapshot identity is
+        checked — the published dict can never hold a stale entry."""
+        generation = self._provider.generation()
+        cache = self._index_cache
+        index = self._build(key)
+        if self._provider.generation() == generation:
+            if self._index_cache is cache:
+                cache.setdefault(key, (generation, index))
+        return index
+
+    def _build(self, key):
+        return {key: ()}
+
+    def _compute(self, key, generation):
+        return [(key, generation)]
+
+    def _scan(self, predicate, arity, generation):
+        return [(predicate, arity, generation)]

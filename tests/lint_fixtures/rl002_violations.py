@@ -1,0 +1,47 @@
+"""RL002 planted violations, including the PR-7 stale-shared-index bug.
+
+The ``stale_setdefault_install`` method reconstructs the exact shape of
+the historical bug: a generation-validated cache installed with
+``setdefault``, which keeps serving a stale pre-mutation entry instead
+of replacing it.
+"""
+
+import threading
+
+
+class StatisticsCatalog:
+    def __init__(self, provider):
+        self._provider = provider
+        self._lock = threading.Lock()
+        self._index_cache = {}
+        self._memo = {}
+
+    def stale_setdefault_install(self, key):
+        generation = self._provider.generation()
+        state = self._index_cache.get(key)
+        if state is not None and state[0] == generation:
+            return state[1]
+        index = self._build(key)
+        return self._index_cache.setdefault(key, (generation, index))[1]  # <- RL002 stale setdefault (PR-7)
+
+    def unbracketed_install(self, key):  # <- RL002 no revalidate, no stamp
+        generation = self._provider.generation()
+        rows = self._compute(key, generation)
+        self._memo[key] = rows
+        return rows
+
+    def unstamped_key(self, cache, predicate, arity):
+        generation = self._provider.generation()
+        rows = self._scan(predicate, arity, generation)
+        key = (predicate, arity)
+        cache.put(key, rows)  # <- RL002 key omits the generation stamp
+        return rows
+
+    def _build(self, key):
+        return {key: ()}
+
+    def _compute(self, key, generation):
+        return [(key, generation)]
+
+    def _scan(self, predicate, arity, generation):
+        return [(predicate, arity, generation)]

@@ -1,0 +1,43 @@
+"""RL003 clean counterpart: polled, amortized, forwarded budgets."""
+
+
+def unfold(query, mappings, budget=None):
+    if budget is not None:
+        budget.check()
+    return [(query, m) for m in mappings]
+
+
+def polled_worklist(seeds, budget=None):
+    worklist = list(seeds)
+    results = []
+    while worklist:
+        if budget is not None:
+            budget.check()
+        current = worklist.pop()
+        results.append(current)
+        worklist.extend(child for child in current.children if child not in results)
+    return results
+
+
+def amortized_outer_poll(sources, budget=None):
+    closure = []
+    for index, source in enumerate(sources):
+        if budget is not None and index % 256 == 0:
+            budget.check()
+        frontier = [source]
+        while frontier:  # covered by the enclosing loop's amortized poll
+            node = frontier.pop()
+            closure.append(node)
+            frontier.extend(node.successors)
+    return closure
+
+
+def forwards_budget(query, mappings, budget=None):
+    return unfold(query, mappings, budget=budget)
+
+
+def no_budget_no_contract(rows):
+    total = 0
+    while rows:
+        total += len(rows.pop())
+    return total

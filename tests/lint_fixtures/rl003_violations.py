@@ -1,0 +1,30 @@
+"""RL003 planted violations: loops and calls that shed their budget."""
+
+
+def unfold(query, mappings, budget=None):
+    if budget is not None:
+        budget.check()
+    return [(query, m) for m in mappings]
+
+
+def unbounded_worklist(seeds, budget=None):  # <- RL003 budget unused
+    worklist = list(seeds)
+    results = []
+    while worklist:  # <- RL003 never consults the budget
+        current = worklist.pop()
+        results.append(current)
+        worklist.extend(child for child in current.children if child not in results)
+    return results
+
+
+def ignores_budget(rows, budget=None):  # <- RL003 budget unused
+    total = 0
+    for row in rows:
+        total += len(row)
+    return total
+
+
+def drops_budget_at_phase(query, mappings, budget=None):
+    if budget is not None:
+        budget.check()
+    return unfold(query, mappings)  # <- RL003 phase call drops the budget

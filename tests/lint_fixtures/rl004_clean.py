@@ -1,0 +1,32 @@
+"""RL004 clean counterpart: conventions followed."""
+
+import logging
+
+from repro.obs.metrics import global_metrics
+from repro.obs.tracing import current_tracer
+
+logging.getLogger("fixture").addHandler(logging.NullHandler())
+
+
+def record_event():
+    global_metrics().counter("perf.cache.hits").inc()
+    global_metrics().histogram("repro.query.elapsed_s").observe(0.1)
+
+
+def scoped_span(payload):
+    with current_tracer().span("obda.query.answer"):
+        return len(payload)
+
+
+class PublicApi:
+    def merge(self, extra, seen=None):
+        bucket = [] if seen is None else seen
+        bucket.extend(extra)
+        return bucket
+
+    def collect(self, *, into=None):
+        return {} if into is None else into
+
+    def _internal(self, scratch=[]):
+        """Private helpers are outside the public-API contract."""
+        return scratch

@@ -1,0 +1,33 @@
+"""RL004 planted violations: obs-convention breaches."""
+
+import logging
+
+from repro.obs.metrics import global_metrics
+from repro.obs.tracing import current_tracer
+
+logging.basicConfig(level=logging.DEBUG)  # <- RL004 import-time config
+logging.getLogger("fixture").addHandler(  # <- RL004 import-time handler
+    logging.StreamHandler()
+)
+
+
+def record_event():
+    global_metrics().counter("hits").inc()  # <- RL004 one-segment name
+    global_metrics().counter("Cache.Hits.Total").inc()  # <- RL004 case
+    global_metrics().histogram("repro.query.elapsed_s").observe(0.1)
+
+
+def leaky_span(payload):
+    span = current_tracer().span("obda.query.answer")  # <- RL004 no `with`
+    result = len(payload)
+    span.end()
+    return result
+
+
+class PublicApi:
+    def merge(self, extra, seen=[]):  # <- RL004 mutable default
+        seen.extend(extra)
+        return seen
+
+    def collect(self, *, into={}):  # <- RL004 mutable kw-only default
+        return into

@@ -1,0 +1,22 @@
+"""RL005 clean counterpart: no hand-rendered SQL outside the layer.
+
+SQL-keyword strings without interpolation are fine anywhere; anything
+parameterized goes through the SQL layer's renderer (exercised by the
+in-layer provenance tests with synthetic ``obda/sql/`` path labels).
+"""
+
+_SCHEMA = "CREATE TABLE fixtures (s TEXT, o TEXT)"
+
+
+def create_schema(connection):
+    connection.execute(_SCHEMA)
+
+
+def fetch_rows(connection):
+    return connection.execute("SELECT s, o FROM fixtures").fetchall()
+
+
+def parameterized_lookup(connection, subject):
+    return connection.execute(
+        "SELECT o FROM fixtures WHERE s = ?", (subject,)
+    ).fetchall()

@@ -1,0 +1,25 @@
+"""RL005 planted violations: SQL text escaping the sanctioned layer.
+
+This file deliberately lives outside ``repro/obda/sql/`` — every
+interpolation into SQL-keyword text here is a layer-confinement breach.
+"""
+
+
+def fetch_rows(connection, table_name):
+    return connection.execute(
+        f"SELECT s, o FROM {table_name}"  # <- RL005 outside the SQL layer
+    ).fetchall()
+
+
+def drop_table(connection, table_name):
+    connection.execute(f"DROP TABLE {table_name}")  # <- RL005
+
+
+def formatted_insert(connection, table_name, values):
+    statement = "INSERT INTO {} VALUES (?)".format(table_name)  # <- RL005
+    connection.execute(statement, values)
+
+
+def percent_update(connection, table_name):
+    statement = "UPDATE %s SET v = ?" % table_name  # <- RL005
+    connection.execute(statement, (1,))

@@ -1,0 +1,67 @@
+"""Functional regressions for the bugs the first ``repro lint`` run found.
+
+The analyzer surfaced real torn-read and dropped-budget defects in the
+observability, cache, TBox, and planner layers; these tests pin the
+fixed behaviour so the lint rules and the runtime semantics stay in
+agreement.
+"""
+
+import pytest
+
+from repro.dllite import parse_tbox
+from repro.errors import TimeoutExceeded
+from repro.obda.sql.database import Database
+from repro.obda.sql.planner import TableScanNode
+from repro.obda.sql.stats import TableStatistics
+from repro.obs.metrics import Histogram
+from repro.perf.cache import CacheStats
+
+
+class ExpiredBudget:
+    def check(self):
+        raise TimeoutExceeded(0.0, 0.0, task="scan-regression")
+
+    def tick(self, stride=None):
+        self.check()
+
+
+def test_cache_stats_lookups_and_hit_rate():
+    stats = CacheStats(name="probe")
+    assert stats.lookups == 0
+    assert stats.hit_rate == 0.0
+    stats.record_hit(3)
+    stats.record_miss()
+    assert stats.lookups == 4
+    assert stats.hit_rate == pytest.approx(0.75)
+
+
+def test_histogram_mean_is_locked_and_correct():
+    histogram = Histogram("probe.latency.ms")
+    assert histogram.mean == 0.0
+    for value in (2.0, 4.0, 12.0):
+        histogram.observe(value)
+    assert histogram.mean == pytest.approx(6.0)
+    snapshot = histogram.to_dict()
+    assert snapshot["min"] <= histogram.mean <= snapshot["max"]
+
+
+def test_tbox_axioms_snapshot_and_stats():
+    tbox = parse_tbox(
+        "Employee isa Person\nManager isa Employee", name="regress"
+    )
+    axioms = tbox.axioms
+    assert isinstance(axioms, tuple) and len(axioms) == 2
+    stats = tbox.stats()
+    assert stats["concepts"] == 3
+    assert stats["axioms"] == 2
+
+
+def test_table_scan_polls_budget_before_materializing():
+    database = Database("budget-test")
+    database.create_table("emp", ["id"], [(1,), (2,)])
+    statistics = TableStatistics("emp", 2, ())
+    node = TableScanNode("emp", "emp", ("emp.id",), 2.0, statistics)
+    result = node._execute(database, None, None, None)
+    assert len(result.rows) == 2
+    with pytest.raises(TimeoutExceeded):
+        node._execute(database, None, ExpiredBudget(), None)

@@ -1,0 +1,211 @@
+"""Self-tests of the ``repro.analysis`` rule packs.
+
+Each planted-violation fixture under ``tests/lint_fixtures/`` tags its
+violations with ``# <- RLxxx`` markers; the pack must report exactly the
+marked lines and nothing else, and the clean counterpart must report
+nothing.  The in-layer RL005 provenance checks use synthetic
+``obda/sql/`` path labels, since the rule is path-sensitive.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source, rule_table
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+_MARKER = re.compile(r"#\s*<-\s*(RL\d{3})")
+
+
+def fixture_findings(name: str, rule: str):
+    path = FIXTURES / name
+    findings = analyze_source(path.as_posix(), path.read_text())
+    return [f for f in findings if f.rule == rule]
+
+
+def marker_lines(name: str, rule: str):
+    lines = set()
+    for number, text in enumerate((FIXTURES / name).read_text().splitlines(), 1):
+        match = _MARKER.search(text)
+        if match and match.group(1) == rule:
+            lines.add(number)
+    return lines
+
+
+@pytest.mark.parametrize("rule", ["RL001", "RL002", "RL003", "RL004", "RL005"])
+def test_pack_catches_exactly_the_planted_violations(rule):
+    name = f"{rule.lower()}_violations.py"
+    found = {f.line for f in fixture_findings(name, rule)}
+    planted = marker_lines(name, rule)
+    assert planted, f"fixture {name} has no markers"
+    assert found == planted
+
+
+@pytest.mark.parametrize("rule", ["RL001", "RL002", "RL003", "RL004", "RL005"])
+def test_clean_counterpart_is_clean(rule):
+    name = f"{rule.lower()}_clean.py"
+    path = FIXTURES / name
+    findings = analyze_source(path.as_posix(), path.read_text())
+    assert findings == []
+
+
+def test_rl002_reconstructs_the_pr7_stale_index_bug():
+    findings = fixture_findings("rl002_violations.py", "RL002")
+    stale = [f for f in findings if "setdefault" in f.message]
+    assert stale, "the PR-7 setdefault reconstruction was not caught"
+    assert "stale" in stale[0].message
+
+
+# -- RL005 in-layer provenance (path-sensitive, so synthetic labels) ----------
+
+SQL_LAYER_LABEL = "src/repro/obda/sql/render_fixture.py"
+
+
+def test_rl005_in_layer_helper_results_are_safe():
+    source = (
+        "def render(spec):\n"
+        "    table = _identifier(spec)\n"
+        "    columns = ', '.join(_column(c) for c in spec.columns)\n"
+        '    return f"SELECT {columns} FROM {table}"\n'
+    )
+    assert analyze_source(SQL_LAYER_LABEL, source) == []
+
+
+def test_rl005_in_layer_raw_attribute_is_flagged():
+    source = (
+        "def render(self, spec):\n"
+        '    return f"SELECT * FROM {spec.table}"\n'
+    )
+    findings = analyze_source(SQL_LAYER_LABEL, source)
+    assert [f.rule for f in findings] == ["RL005"]
+    assert "quoting helper" in findings[0].message
+
+
+def test_rl005_in_layer_raw_parameter_is_flagged():
+    source = (
+        "def render(table_name):\n"
+        '    return f"DROP TABLE {table_name}"\n'
+    )
+    findings = analyze_source(SQL_LAYER_LABEL, source)
+    assert [f.rule for f in findings] == ["RL005"]
+
+
+def test_rl005_loop_variable_inherits_iterable_safety():
+    source = (
+        "def render(connection, rows):\n"
+        "    for i in range(3):\n"
+        '        connection.execute(f"CREATE INDEX i_{i} ON t (c{i})")\n'
+        "    for row in rows:\n"
+        '        connection.execute(f"INSERT INTO t VALUES ({row})")\n'
+    )
+    findings = analyze_source(SQL_LAYER_LABEL, source)
+    assert [f.line for f in findings] == [5]  # range(3) safe, rows not
+
+
+def test_rl005_logic_pretty_printer_is_not_sql():
+    source = (
+        "def show(bound, part):\n"
+        '    return f"EXISTS {bound}. {part}"\n'
+    )
+    assert analyze_source("src/repro/obda/eql.py", source) == []
+
+
+# -- output ergonomics and exit codes -----------------------------------------
+
+
+def test_findings_render_clickable_locations():
+    finding = fixture_findings("rl001_violations.py", "RL001")[0]
+    rendered = finding.render()
+    assert rendered.startswith(
+        f"{finding.path}:{finding.line}:{finding.col}: {finding.rule} "
+    )
+    assert finding.path.endswith("lint_fixtures/rl001_violations.py")
+    assert rendered.endswith(f"[{finding.rule_name}]")
+
+
+def test_cli_exit_one_on_findings(tmp_path, capsys):
+    rc = main(
+        [
+            "lint",
+            str(FIXTURES / "rl001_violations.py"),
+            "--baseline",
+            str(tmp_path / "empty.json"),
+        ]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out and "finding(s)" in out
+
+
+def test_cli_exit_zero_on_clean(tmp_path, capsys):
+    rc = main(
+        [
+            "lint",
+            str(FIXTURES / "rl001_clean.py"),
+            "--baseline",
+            str(tmp_path / "empty.json"),
+        ]
+    )
+    assert rc == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_exit_two_on_unknown_rule(capsys):
+    rc = main(["lint", str(FIXTURES), "--rule", "RL999"])
+    assert rc == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_exit_two_on_missing_path(capsys):
+    rc = main(["lint", "does/not/exist.py", "--check"])
+    assert rc == 2
+
+
+def test_cli_rule_filter_limits_packs(tmp_path, capsys):
+    rc = main(
+        [
+            "lint",
+            str(FIXTURES / "rl001_violations.py"),
+            "--rule",
+            "rl004",
+            "--baseline",
+            str(tmp_path / "empty.json"),
+        ]
+    )
+    assert rc == 0  # no RL004 violations in the RL001 fixture
+    assert "RL001" not in capsys.readouterr().out
+
+
+def test_cli_json_report(tmp_path, capsys):
+    rc = main(
+        [
+            "lint",
+            str(FIXTURES / "rl005_violations.py"),
+            "--json",
+            "--baseline",
+            str(tmp_path / "empty.json"),
+        ]
+    )
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    assert all(f["rule"] == "RL005" for f in payload["new"])
+    assert {"path", "line", "col", "message"} <= set(payload["new"][0])
+
+
+def test_cli_rules_listing(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for row in rule_table():
+        assert row["id"] in out
+        assert row["name"] in out
+
+
+def test_repo_sources_lint_clean_against_committed_baseline():
+    """The CI gate: src/ must stay clean modulo the justified baseline."""
+    rc = main(["lint", "src", "--check"])
+    assert rc == 0

@@ -1,0 +1,186 @@
+"""Suppression machinery: pragmas, baseline life cycle, ``--check``."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    PLACEHOLDER_REASON,
+    analyze_source,
+    run_lint,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+VIOLATION = (
+    "import threading\n"
+    "\n"
+    "class C:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.hits = 0\n"
+    "    def locked(self):\n"
+    "        with self._lock:\n"
+    "            self.hits += 1\n"
+    "    def unlocked(self):\n"
+    "        self.hits += 1{pragma}\n"
+)
+
+
+def test_pragma_suppresses_exactly_its_line():
+    flagged = analyze_source("x.py", VIOLATION.format(pragma=""))
+    assert [f.rule for f in flagged] == ["RL001"]
+    suppressed = analyze_source(
+        "x.py", VIOLATION.format(pragma="  # repro-lint: disable=RL001")
+    )
+    assert suppressed == []
+
+
+def test_pragma_on_another_line_does_not_suppress():
+    source = "# repro-lint: disable=RL001\n" + VIOLATION.format(pragma="")
+    assert [f.rule for f in analyze_source("x.py", source)] == ["RL001"]
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    source = VIOLATION.format(pragma="  # repro-lint: disable=RL005")
+    assert [f.rule for f in analyze_source("x.py", source)] == ["RL001"]
+
+
+def test_file_level_disable():
+    source = "# repro-lint: disable-file=RL001\n" + VIOLATION.format(pragma="")
+    assert analyze_source("x.py", source) == []
+
+
+def test_pragma_disable_all():
+    source = VIOLATION.format(pragma="  # repro-lint: disable=all")
+    assert analyze_source("x.py", source) == []
+
+
+# -- baseline life cycle -------------------------------------------------------
+
+
+def _violations_path():
+    return FIXTURES / "rl001_violations.py"
+
+
+def test_baseline_absorbs_known_findings(tmp_path):
+    report, raw = run_lint([_violations_path()])
+    assert report.new and not report.baselined
+    baseline = Baseline.from_findings(raw, Baseline())
+    for entry in baseline.entries:
+        entry.reason = "planted fixture"
+    report2, _ = run_lint([_violations_path()], baseline=baseline)
+    assert not report2.new
+    assert len(report2.baselined) == len(raw)
+    assert not report2.failed(check=True)
+
+
+def test_new_unbaselined_finding_fails_check(tmp_path):
+    _, raw = run_lint([_violations_path()])
+    baseline = Baseline.from_findings(raw, Baseline())
+    for entry in baseline.entries:
+        entry.reason = "planted fixture"
+    dropped = baseline.entries.pop()  # one finding is now *new*
+    report, _ = run_lint([_violations_path()], baseline=baseline)
+    assert len(report.new) == dropped.count
+    assert report.failed(check=True)
+    assert report.failed(check=False)
+
+
+def test_stale_entry_fails_check_only(tmp_path):
+    _, raw = run_lint([_violations_path()])
+    baseline = Baseline.from_findings(raw, Baseline())
+    for entry in baseline.entries:
+        entry.reason = "planted fixture"
+    baseline.entries.append(
+        BaselineEntry(
+            rule="RL001",
+            path=_violations_path().as_posix(),
+            code="self.gone += 1",
+            count=1,
+            reason="was fixed long ago",
+        )
+    )
+    report, _ = run_lint([_violations_path()], baseline=baseline)
+    assert not report.new
+    assert [e.code for e in report.stale_entries] == ["self.gone += 1"]
+    assert report.failed(check=True)
+    assert not report.failed(check=False)
+
+
+def test_unjustified_reason_fails_check(tmp_path):
+    _, raw = run_lint([_violations_path()])
+    baseline = Baseline.from_findings(raw, Baseline())
+    assert all(e.reason == PLACEHOLDER_REASON for e in baseline.entries)
+    report, _ = run_lint([_violations_path()], baseline=baseline)
+    assert not report.new
+    assert report.unjustified_entries
+    assert report.failed(check=True)
+    assert not report.failed(check=False)
+
+
+def test_baseline_save_load_round_trip(tmp_path):
+    _, raw = run_lint([_violations_path()])
+    baseline = Baseline.from_findings(raw, Baseline())
+    for entry in baseline.entries:
+        entry.reason = "planted fixture"
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert [e.to_dict() for e in loaded.entries] == [
+        e.to_dict() for e in baseline.entries
+    ]
+
+
+def test_update_baseline_cli_preserves_reasons(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "lint",
+                str(_violations_path()),
+                "--baseline",
+                str(path),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(path.read_text())
+    assert payload["entries"]
+    # a freshly stamped baseline is unjustified, so --check refuses it
+    assert (
+        main(["lint", str(_violations_path()), "--baseline", str(path), "--check"])
+        == 1
+    )
+    assert "unjustified" in capsys.readouterr().out
+    for entry in payload["entries"]:
+        entry["reason"] = "planted fixture"
+    path.write_text(json.dumps(payload))
+    assert (
+        main(["lint", str(_violations_path()), "--baseline", str(path), "--check"])
+        == 0
+    )
+    # reasons survive a second --update-baseline
+    assert (
+        main(
+            [
+                "lint",
+                str(_violations_path()),
+                "--baseline",
+                str(path),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    refreshed = json.loads(path.read_text())
+    assert all(e["reason"] == "planted fixture" for e in refreshed["entries"])
+
+
+def test_committed_baseline_entries_are_all_justified():
+    baseline = Baseline.load(Path("lint-baseline.json"))
+    assert baseline.entries, "repo baseline should carry the grandfathered set"
+    assert baseline.unjustified() == []
